@@ -1,0 +1,62 @@
+//! Ablation (§4.3.2): base vs cached vs eager map variants — proxy-cache
+//! hit cost and resurrection cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jnvm::{JnvmBuilder, PObject};
+use jnvm_heap::HeapConfig;
+use jnvm_jpdt::{register_jpdt, CacheMode, PBytes, PStringHashMap};
+use jnvm_pmem::{Pmem, PmemConfig};
+use std::hint::black_box;
+
+const N: usize = 5000;
+
+fn bench(c: &mut Criterion) {
+    let pmem = Pmem::new(PmemConfig::perf(512 << 20));
+    let rt = register_jpdt(JnvmBuilder::new())
+        .create(pmem, HeapConfig::default())
+        .unwrap();
+
+    // One populated map per mode (values are chained, not pooled, so the
+    // proxy cache has real work to save).
+    let mut maps = Vec::new();
+    for mode in [CacheMode::Base, CacheMode::Cached, CacheMode::Eager] {
+        let m = PStringHashMap::with_mode(&rt, mode).unwrap();
+        for i in 0..N {
+            let v = PBytes::new(&rt, &vec![1u8; 500]).unwrap();
+            m.put(format!("key-{i}"), v.addr()).unwrap();
+        }
+        maps.push((mode, m));
+    }
+
+    let mut g = c.benchmark_group("map_variants");
+    for (mode, m) in &maps {
+        g.bench_with_input(
+            BenchmarkId::new("get_value", format!("{mode:?}")),
+            m,
+            |b, m| {
+                let k = "key-2500".to_string();
+                b.iter(|| black_box(m.get_value(black_box(&k))))
+            },
+        );
+    }
+    // Resurrection cost: Base defers value-proxy creation, Eager pays it
+    // upfront.
+    let addr = maps[0].1.addr();
+    for mode in [CacheMode::Base, CacheMode::Eager] {
+        g.bench_with_input(
+            BenchmarkId::new("resurrect", format!("{mode:?}")),
+            &mode,
+            |b, mode| {
+                b.iter(|| black_box(PStringHashMap::open_with_mode(&rt, addr, *mode)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

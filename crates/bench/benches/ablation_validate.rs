@@ -1,0 +1,75 @@
+//! Ablation (§3.2.3 / Figure 5): batched validation with a single
+//! `pfence` vs the naive fence-per-object protocol. The point of the
+//! validity bit is to amortize fences across object graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jnvm::{persistent_class, JnvmBuilder};
+use jnvm_heap::HeapConfig;
+use jnvm_pmem::{Pmem, PmemConfig, LatencyProfile, SimMode};
+
+persistent_class! {
+    pub class Item {
+        val value, set_value: i64;
+        ref next, set_next, update_next: Item;
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Optane-like fences: this ablation is about fence counts, so fence
+    // latency must be realistic.
+    let pmem = Pmem::new(PmemConfig {
+        size: 1 << 30,
+        mode: SimMode::Performance,
+        latency: LatencyProfile::optane_like(),
+    });
+    let rt = JnvmBuilder::new()
+        .register::<Item>()
+        .create(pmem, HeapConfig::default())
+        .unwrap();
+
+    let mut g = c.benchmark_group("validate_ablation");
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("fence_per_object", n), &n, |b, n| {
+            b.iter(|| {
+                let items: Vec<Item> = (0..*n)
+                    .map(|i| {
+                        let it = Item::alloc_uninit(&rt);
+                        it.set_value(i as i64);
+                        it.pwb();
+                        it.validate();
+                        rt.pfence(); // naive: one fence per object
+                        it
+                    })
+                    .collect();
+                for it in items {
+                    rt.free(it);
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("batched_single_fence", n), &n, |b, n| {
+            b.iter(|| {
+                let items: Vec<Item> = (0..*n)
+                    .map(|i| {
+                        let it = Item::alloc_uninit(&rt);
+                        it.set_value(i as i64);
+                        it.pwb();
+                        it.validate(); // fence-free
+                        it
+                    })
+                    .collect();
+                rt.pfence(); // Figure 5: one fence for the whole batch
+                for it in items {
+                    rt.free(it);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

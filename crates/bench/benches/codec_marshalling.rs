@@ -1,0 +1,35 @@
+//! Marshalling codec costs — the CPU work behind the FS/PCJ slowdown
+//! (Figure 8's central claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jnvm_kvstore::{decode_record, encode_record, Record};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for field_len in [100usize, 1000, 10_000] {
+        let rec = Record::ycsb(
+            "user000000001234",
+            &(0..10).map(|_| vec![0xabu8; field_len]).collect::<Vec<_>>(),
+        );
+        let bytes = encode_record(&rec);
+        g.bench_with_input(
+            BenchmarkId::new("encode", field_len * 10),
+            &rec,
+            |b, rec| b.iter(|| black_box(encode_record(black_box(rec)))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("decode", field_len * 10),
+            &bytes,
+            |b, bytes| b.iter(|| black_box(decode_record(black_box(bytes)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Failure-atomic block overhead (§4.2): the cost of the redo log versus
+//! direct low-level writes — the J-PFA/J-PDT gap of Figure 7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jnvm::{persistent_class, JnvmBuilder};
+use jnvm_heap::HeapConfig;
+use jnvm_pmem::{Pmem, PmemConfig};
+use std::hint::black_box;
+
+persistent_class! {
+    pub class Cell {
+        val value, set_value: i64;
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let pmem = Pmem::new(PmemConfig::perf(256 << 20));
+    let rt = JnvmBuilder::new()
+        .register::<Cell>()
+        .create(pmem, HeapConfig::default())
+        .unwrap();
+    let cell = Cell::alloc_uninit(&rt);
+    cell.set_value(0);
+    cell.pwb();
+    cell.validate();
+    rt.pfence();
+
+    let mut g = c.benchmark_group("fa");
+    g.bench_function("direct_write_pwb_pfence", |b| {
+        b.iter(|| {
+            cell.set_value(black_box(1));
+            cell.pwb();
+            rt.pfence();
+        })
+    });
+    g.bench_function("fa_block_single_write", |b| {
+        b.iter(|| rt.fa(|| cell.set_value(black_box(2))))
+    });
+    g.bench_function("fa_block_ten_writes_one_object", |b| {
+        b.iter(|| {
+            rt.fa(|| {
+                for i in 0..10 {
+                    cell.set_value(black_box(i));
+                }
+            })
+        })
+    });
+    g.bench_function("fa_block_alloc_and_free", |b| {
+        b.iter(|| {
+            rt.fa(|| {
+                let c2 = Cell::alloc_uninit(&rt);
+                c2.set_value(black_box(5));
+                rt.free(c2);
+            })
+        })
+    });
+    g.bench_function("empty_fa_block", |b| b.iter(|| rt.fa(|| black_box(0))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Block-heap allocation costs: bump path, free-queue path, chains and
+//! pooled small objects (§4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jnvm_heap::{BlockHeap, HeapConfig, PoolManager};
+use jnvm_pmem::{Pmem, PmemConfig};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heap");
+    g.bench_function("alloc_free_single_block", |b| {
+        let pmem = Pmem::new(PmemConfig::perf(256 << 20));
+        let heap = BlockHeap::format(pmem, HeapConfig::default()).unwrap();
+        b.iter(|| {
+            let m = heap.alloc_chain(17, 100).unwrap();
+            heap.free_object(m);
+        })
+    });
+    g.bench_function("alloc_free_chain_4_blocks", |b| {
+        let pmem = Pmem::new(PmemConfig::perf(256 << 20));
+        let heap = BlockHeap::format(pmem, HeapConfig::default()).unwrap();
+        b.iter(|| {
+            let m = heap.alloc_chain(17, 900).unwrap();
+            heap.free_object(m);
+        })
+    });
+    g.bench_function("pooled_alloc_free_16b", |b| {
+        let pmem = Pmem::new(PmemConfig::perf(256 << 20));
+        let heap = BlockHeap::format(pmem, HeapConfig::default()).unwrap();
+        let pools = PoolManager::new(Arc::clone(&heap));
+        b.iter(|| {
+            let a = pools.alloc(17, 16).unwrap();
+            pools.free(a);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! J-PDT operation costs vs the volatile `std` counterparts — the
+//! microscopic view of Figure 12's 45-50 % slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jnvm::{JnvmBuilder, PObject};
+use jnvm_heap::HeapConfig;
+use jnvm_jpdt::{register_jpdt, PBytes, PString, PStringHashMap};
+use jnvm_pmem::{Pmem, PmemConfig};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pmem = Pmem::new(PmemConfig::perf(512 << 20));
+    let rt = register_jpdt(JnvmBuilder::new())
+        .create(pmem, HeapConfig::default())
+        .unwrap();
+
+    let mut g = c.benchmark_group("pdt");
+
+    // Map get: persistent vs volatile.
+    let pm = PStringHashMap::new(&rt).unwrap();
+    let mut vm: HashMap<String, Vec<u8>> = HashMap::new();
+    for i in 0..10_000 {
+        let v = PBytes::new(&rt, &[7u8; 100]).unwrap();
+        pm.put(format!("key-{i}"), v.addr()).unwrap();
+        vm.insert(format!("key-{i}"), vec![7u8; 100]);
+    }
+    g.bench_function("phashmap_get", |b| {
+        let k = "key-5000".to_string();
+        b.iter(|| black_box(pm.get(black_box(&k))))
+    });
+    g.bench_function("std_hashmap_get", |b| {
+        let k = "key-5000".to_string();
+        b.iter(|| black_box(vm.get(black_box(&k))))
+    });
+    g.bench_function("phashmap_get_value_and_copy", |b| {
+        let k = "key-5000".to_string();
+        b.iter(|| {
+            let v = pm.get_value(&k).unwrap();
+            black_box(PBytes::resurrect(&rt, v.addr()).to_vec())
+        })
+    });
+    g.bench_function("phashmap_put_replace", |b| {
+        let k = "key-1".to_string();
+        b.iter(|| {
+            let v = PBytes::new(&rt, &[9u8; 100]).unwrap();
+            if let Some(old) = pm.put(k.clone(), v.addr()).unwrap() {
+                rt.free_addr(old);
+            }
+        })
+    });
+    g.bench_function("pstring_create_free_pooled", |b| {
+        b.iter(|| {
+            let s = PString::from_str_in(&rt, black_box("a short string")).unwrap();
+            s.free();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-costs of the simulated device: reads, writes, `pwb`, `pfence` —
+//! the primitives behind every number in the paper's Table 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jnvm_pmem::{Pmem, PmemConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pmem = Pmem::new(PmemConfig::perf(16 << 20));
+    let crash = Pmem::new(PmemConfig::crash_sim(16 << 20));
+
+    let mut g = c.benchmark_group("pmem");
+    g.bench_function("read_u64_aligned", |b| {
+        b.iter(|| black_box(pmem.read_u64(black_box(1024))))
+    });
+    g.bench_function("write_u64_aligned", |b| {
+        b.iter(|| pmem.write_u64(black_box(1024), black_box(7)))
+    });
+    g.bench_function("read_u64_unaligned", |b| {
+        b.iter(|| black_box(pmem.read_u64(black_box(1027))))
+    });
+    g.bench_function("read_bytes_256", |b| {
+        let mut buf = [0u8; 256];
+        b.iter(|| pmem.read_bytes(black_box(4096), &mut buf))
+    });
+    g.bench_function("write_bytes_256", |b| {
+        let buf = [7u8; 256];
+        b.iter(|| pmem.write_bytes(black_box(4096), &buf))
+    });
+    g.bench_function("pwb_pfence_perf_mode", |b| {
+        b.iter(|| {
+            pmem.write_u64(black_box(8192), 1);
+            pmem.pwb(8192);
+            pmem.pfence();
+        })
+    });
+    g.bench_function("pwb_pfence_crashsim_mode", |b| {
+        b.iter(|| {
+            crash.write_u64(black_box(8192), 1);
+            crash.pwb(8192);
+            crash.pfence();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

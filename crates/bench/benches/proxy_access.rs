@@ -1,0 +1,55 @@
+//! Proxy mediation overhead: field access through a proxy vs raw device
+//! access — the indirection the decoupling principle pays for (Table 3's
+//! J-NVM-vs-C gap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jnvm::{JnvmBuilder, Proxy};
+use jnvm_heap::HeapConfig;
+use jnvm_jpdt::{register_jpdt, PLongArray};
+use jnvm_pmem::{Pmem, PmemConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let pmem = Pmem::new(PmemConfig::perf(64 << 20));
+    let rt = register_jpdt(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .unwrap();
+    let id = rt.registry().id_of::<PLongArray>().unwrap();
+    let p = Proxy::alloc(&rt, id, 1000); // 5 blocks
+    p.pwb();
+    p.validate();
+    rt.pfence();
+
+    let mut g = c.benchmark_group("proxy");
+    g.bench_function("read_u64_first_block", |b| {
+        b.iter(|| black_box(p.read_u64(black_box(8))))
+    });
+    g.bench_function("read_u64_last_block", |b| {
+        b.iter(|| black_box(p.read_u64(black_box(992))))
+    });
+    g.bench_function("write_u64", |b| {
+        b.iter(|| p.write_u64(black_box(8), black_box(9)))
+    });
+    g.bench_function("raw_read_u64_baseline", |b| {
+        let addr = p.addr() + 16;
+        b.iter(|| black_box(pmem.read_u64(black_box(addr))))
+    });
+    g.bench_function("proxy_open_5_blocks", |b| {
+        let addr = p.addr();
+        b.iter(|| black_box(Proxy::open(&rt, black_box(addr))))
+    });
+    g.bench_function("update_ref_figure6", |b| {
+        let target = Proxy::alloc(&rt, id, 16);
+        target.pwb();
+        b.iter(|| p.update_ref(black_box(0), Some(&target)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

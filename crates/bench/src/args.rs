@@ -1,0 +1,79 @@
+//! A tiny `--key value` flag parser for the harness binaries.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments. Accepts `--key value` and
+    /// `--key=value`; bare flags get the value `"true"`.
+    pub fn parse() -> Args {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut flags = HashMap::new();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                continue;
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else if it.peek().map_or(false, |n| !n.starts_with("--")) {
+                flags.insert(key.to_string(), it.next().expect("peeked"));
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+            }
+        }
+        Args { flags }
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Typed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag (present or `--key true`).
+    pub fn has(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn key_value_forms() {
+        let a = parse(&["--records", "100", "--ops=5", "--fast", "--name", "x"]);
+        assert_eq!(a.get_or("records", 0u64), 100);
+        assert_eq!(a.get_or("ops", 0u64), 5);
+        assert!(a.has("fast"));
+        assert_eq!(a.get("name"), Some("x"));
+        assert_eq!(a.get_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn garbage_is_ignored() {
+        let a = parse(&["positional", "--k", "v"]);
+        assert_eq!(a.get("k"), Some("v"));
+        assert_eq!(a.get("positional"), None);
+    }
+}

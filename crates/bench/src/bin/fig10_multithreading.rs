@@ -1,0 +1,66 @@
+//! Figure 10 regenerator: multi-threaded YCSB-A and YCSB-C throughput for
+//! J-PDT, FS and Volatile as client threads grow.
+//!
+//! Paper result: J-PDT's peak at least matches Volatile (proxies introduce
+//! no scalability bottleneck); FS saturates > 5x lower.
+//!
+//! Flags: `--records` (default 10000 = paper 1M / 100), `--ops` (default
+//! 200000), `--threads 1,2,4,8,12,16,20`, `--out results`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use jnvm_bench::{make_grid, write_csv, Args, BackendKind, GridClient, Table};
+use jnvm_ycsb::{run_load, run_workload, Workload};
+
+fn main() {
+    let args = Args::parse();
+    let records: u64 = args.get_or("records", 10_000);
+    let ops: u64 = args.get_or("ops", 200_000);
+    let threads: Vec<usize> = args
+        .get_or("threads", "1,2,4,8,12,16,20".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out: PathBuf = PathBuf::from(args.get_or("out", "results".to_string()));
+    let optane = !args.has("no-latency");
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Figure 10 (host has {cpus} CPU(s); the paper's testbed has 80 cores — \
+         absolute scaling requires cores, the J-PDT-vs-FS gap does not)"
+    );
+    for w in [Workload::A, Workload::C] {
+        println!("\nFigure 10 / YCSB-{}:", w.label());
+        let mut table = Table::new(&["threads", "J-PDT", "FS", "Volatile"]);
+        let mut rows = Vec::new();
+        for t in &threads {
+            let mut tputs = Vec::new();
+            for kind in [BackendKind::Jpdt, BackendKind::Fs, BackendKind::Volatile] {
+                let ratio = if kind == BackendKind::Fs { 0.1 } else { 0.0 };
+                let setup = make_grid(kind, records, 10, 100, ratio, optane);
+                let mut spec = w.spec(records, ops);
+                spec.threads = *t;
+                run_load(&spec, |_| GridClient::new(Arc::clone(&setup.grid)));
+                let report = run_workload(&spec, |_| GridClient::new(Arc::clone(&setup.grid)));
+                tputs.push(report.throughput);
+            }
+            let fmt = |x: f64| format!("{:.2} Mops/s", x / 1e6);
+            table.row(&[
+                t.to_string(),
+                fmt(tputs[0]),
+                fmt(tputs[1]),
+                fmt(tputs[2]),
+            ]);
+            rows.push(format!("{},{:.0},{:.0},{:.0}", t, tputs[0], tputs[1], tputs[2]));
+        }
+        table.print();
+        let path = write_csv(
+            &out,
+            &format!("fig10_ycsb_{}", w.label().to_lowercase()),
+            "threads,jpdt,fs,volatile",
+            &rows,
+        );
+        println!("wrote {}", path.display());
+    }
+}

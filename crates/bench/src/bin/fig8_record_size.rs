@@ -1,0 +1,70 @@
+//! Figure 8 regenerator: the price of accessing NVMM through a file
+//! system — YCSB-A completion time vs record size for Volatile, NullFS,
+//! TmpFS and FS.
+//!
+//! Paper result: the three file backends cluster together at 2.11–6.26x
+//! the Volatile baseline, NullFS barely faster than FS — marshalling, not
+//! the file system, is the cost.
+//!
+//! Flags: `--records` (default 4000), `--ops` (default 20000),
+//! `--sizes 1,2,4,6,8,10` (record KB), `--out results`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use jnvm_bench::{make_grid, write_csv, Args, BackendKind, GridClient, Table};
+use jnvm_ycsb::{run_load, run_workload, Workload};
+
+fn main() {
+    let args = Args::parse();
+    let records: u64 = args.get_or("records", 4_000);
+    let ops: u64 = args.get_or("ops", 20_000);
+    let sizes: Vec<u64> = args
+        .get_or("sizes", "1,2,4,6,8,10".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out: PathBuf = PathBuf::from(args.get_or("out", "results".to_string()));
+    let optane = !args.has("no-latency");
+
+    println!("Figure 8: marshalling cost vs record size ({records} records, {ops} ops)");
+    let mut table = Table::new(&["record", "Volatile", "NullFS", "TmpFS", "FS", "FS/Volatile"]);
+    let mut rows = Vec::new();
+    for kb in &sizes {
+        // 10 fields, each kb*100 bytes => kb KB records, as in the paper.
+        let field_len = (*kb as usize) * 100;
+        let mut times = Vec::new();
+        for kind in BackendKind::FIGURE8 {
+            let setup = make_grid(kind, records, 10, field_len, 0.1, optane);
+            let spec = {
+                let mut s = Workload::A.spec(records, ops);
+                s.field_len = field_len;
+                s
+            };
+            run_load(&spec, |_| GridClient::new(Arc::clone(&setup.grid)));
+            let report = run_workload(&spec, |_| GridClient::new(Arc::clone(&setup.grid)));
+            times.push(report.completion.as_secs_f64());
+        }
+        let fmt = |x: f64| format!("{x:.2} s");
+        table.row(&[
+            format!("{kb} KB"),
+            fmt(times[0]),
+            fmt(times[1]),
+            fmt(times[2]),
+            fmt(times[3]),
+            format!("{:.2}x", times[3] / times[0]),
+        ]);
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.4}",
+            kb, times[0], times[1], times[2], times[3]
+        ));
+    }
+    table.print();
+    let path = write_csv(
+        &out,
+        "fig8_record_size",
+        "record_kb,volatile,nullfs,tmpfs,fs",
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

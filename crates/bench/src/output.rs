@@ -1,0 +1,103 @@
+//! CSV series and console tables for the harness binaries.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Write a CSV file under the results directory. Returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O failure (a harness binary cannot proceed without its
+/// output directory).
+pub fn write_csv(out_dir: &Path, name: &str, header: &str, rows: &[String]) -> PathBuf {
+    std::fs::create_dir_all(out_dir).expect("create results directory");
+    let path = out_dir.join(format!("{name}.csv"));
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    std::fs::write(&path, body).expect("write csv");
+    path
+}
+
+/// A fixed-width console table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column names.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join(format!("jnvm-bench-csv-{}", std::process::id()));
+        let p = write_csv(&dir, "t", "a,b", &["1,2".into(), "3,4".into()]);
+        let s = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

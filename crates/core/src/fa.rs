@@ -1,0 +1,475 @@
+//! Failure-atomic blocks (§4.2): a per-thread persistent redo log, inspired
+//! by Romulus and adapted to the block heap.
+//!
+//! During a failure-atomic block every modification — allocation, payload
+//! write, free — is recorded in a per-thread persistent log, leaving
+//! original data intact. Payload writes are redirected to **in-flight block
+//! copies**; reads observe them. Commit:
+//!
+//! 1. `pwb` all in-flight blocks and log entries (already queued), `pfence`,
+//! 2. set the log's committed flag + entry count, `pwb`, `pfence`,
+//! 3. apply: validate allocations, perform frees, copy in-flight payloads
+//!    onto the originals (no fence needed — a crash replays the log),
+//! 4. clear the committed flag, `pwb`, `pfence` (so the log is reusable).
+//!
+//! Updates to *invalid* objects — typically objects allocated inside the
+//! same block — are applied in place: if the block aborts, recovery deletes
+//! them anyway.
+//!
+//! After a failure, committed logs are replayed and uncommitted ones
+//! abandoned **before** the recovery GC runs; the GC then reaps in-flight
+//! blocks and invalid allocations.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use crate::proxy::{Proxy, RawChain};
+use crate::registry::CLASS_ID_FALOG;
+use crate::runtime::{Jnvm, JnvmRuntime};
+
+/// Capacity of the log directory: the maximum number of redo logs ever
+/// created, which bounds the number of threads concurrently inside
+/// failure-atomic blocks.
+const DIR_CAPACITY: u64 = 64;
+
+/// Initial log capacity in entries; logs grow on demand.
+const LOG_INIT_ENTRIES: u64 = 256;
+
+/// Entry size: kind, a, b.
+const ENTRY_BYTES: u64 = 24;
+
+/// Logical offset of the committed flag within a log's payload.
+const LOG_COMMITTED: u64 = 0;
+/// Logical offset of the committed entry count.
+const LOG_COUNT: u64 = 8;
+/// Logical offset of the first entry.
+const LOG_ENTRIES: u64 = 16;
+
+const KIND_ALLOC: u64 = 1;
+const KIND_FREE: u64 = 2;
+const KIND_WRITE: u64 = 3;
+
+/// A handle on one persistent redo log.
+pub(crate) struct LogHandle {
+    chain: RawChain,
+}
+
+impl LogHandle {
+    fn addr(&self) -> u64 {
+        self.chain.blocks[0]
+    }
+}
+
+/// Pool of redo logs plus the persistent log directory.
+pub(crate) struct FaManager {
+    free_logs: SegQueue<LogHandle>,
+    /// Guards directory appends; holds the next free directory slot.
+    dir_cursor: Mutex<u64>,
+}
+
+impl FaManager {
+    pub(crate) fn new() -> FaManager {
+        FaManager {
+            free_logs: SegQueue::new(),
+            dir_cursor: Mutex::new(0),
+        }
+    }
+
+    /// Create the persistent log directory on a fresh pool and anchor it in
+    /// root slot 2.
+    pub(crate) fn create_dir(rt: &Jnvm) {
+        let dir = Proxy::alloc(rt, crate::registry::CLASS_ID_FALOGDIR, 8 + DIR_CAPACITY * 8);
+        dir.write_u64(0, DIR_CAPACITY);
+        dir.pwb();
+        dir.validate();
+        rt.pmem().pfence();
+        rt.heap().set_root_slot(2, dir.addr());
+    }
+
+    fn acquire_log(&self, rt: &Jnvm) -> LogHandle {
+        if let Some(log) = self.free_logs.pop() {
+            return log;
+        }
+        // Create a new log and publish it in the directory.
+        let payload = LOG_ENTRIES + LOG_INIT_ENTRIES * ENTRY_BYTES;
+        let log = Proxy::alloc(rt, CLASS_ID_FALOG, payload);
+        log.write_u64(LOG_COMMITTED, 0);
+        log.write_u64(LOG_COUNT, 0);
+        log.pwb();
+        log.validate();
+        rt.pmem().pfence();
+
+        let mut cursor = self.dir_cursor.lock();
+        let dir = Proxy::open(rt, rt.heap().root_slot(2));
+        let cap = dir.read_u64(0);
+        assert!(
+            *cursor < cap,
+            "failure-atomic log directory full ({cap} slots): too many threads"
+        );
+        dir.write_u64(8 + *cursor * 8, log.addr());
+        dir.pwb_field(8 + *cursor * 8, 8);
+        rt.pmem().pfence();
+        *cursor += 1;
+        LogHandle {
+            chain: RawChain::open(rt, log.addr()),
+        }
+    }
+
+    fn release_log(&self, log: LogHandle) {
+        self.free_logs.push(log);
+    }
+
+    /// After restart: replay committed logs, abandon uncommitted ones, and
+    /// repopulate the volatile log pool. Returns `(replayed, abandoned)`.
+    /// Must run before the recovery GC.
+    pub(crate) fn recover_logs(&self, rt: &Jnvm) -> (u64, u64) {
+        let dir_addr = rt.heap().root_slot(2);
+        let dir = RawChain::open(rt, dir_addr);
+        let pmem = rt.pmem();
+        let cap = pmem.read_u64(dir.phys(0));
+        let mut cursor = self.dir_cursor.lock();
+        let (mut replayed, mut abandoned) = (0, 0);
+        for slot in 0..cap {
+            let log_addr = pmem.read_u64(dir.phys(8 + slot * 8));
+            if log_addr == 0 {
+                continue;
+            }
+            *cursor = slot + 1;
+            let chain = RawChain::open(rt, log_addr);
+            let committed = pmem.read_u64(chain.phys(LOG_COMMITTED));
+            if committed == 1 {
+                let count = pmem.read_u64(chain.phys(LOG_COUNT));
+                apply_entries(rt, &chain, count, false);
+                pmem.write_u64(chain.phys(LOG_COMMITTED), 0);
+                pmem.pwb(chain.phys(LOG_COMMITTED));
+                replayed += 1;
+            } else if pmem.read_u64(chain.phys(LOG_COUNT)) != 0 {
+                abandoned += 1;
+            }
+            self.free_logs.push(LogHandle { chain });
+        }
+        pmem.pfence();
+        (replayed, abandoned)
+    }
+}
+
+/// Tracer for the log directory: every non-null slot references a log.
+pub(crate) fn trace_log_dir(rt: &Jnvm, addr: u64, visit: &mut dyn FnMut(u64)) {
+    let chain = RawChain::open(rt, addr);
+    let cap = rt.pmem().read_u64(chain.phys(0));
+    for slot in 0..cap {
+        visit(chain.phys(8 + slot * 8));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Thread-local transaction state.
+// ----------------------------------------------------------------------
+
+struct TxState {
+    rt: Jnvm,
+    log: LogHandle,
+    count: u64,
+    /// orig block byte address -> in-flight block byte address.
+    redirects: HashMap<u64, u64>,
+    /// Master addresses allocated inside this block (written in place).
+    allocated: HashSet<u64>,
+}
+
+thread_local! {
+    static TX_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static TX: RefCell<Option<TxState>> = const { RefCell::new(None) };
+}
+
+/// Current failure-atomic nesting depth of this thread. This is the paper's
+/// per-thread counter that every mediated accessor checks (§3.2).
+#[inline]
+pub fn depth() -> u32 {
+    TX_DEPTH.with(|d| d.get())
+}
+
+/// Resolve a block address for a read inside a failure-atomic block.
+#[inline]
+pub(crate) fn redirect_read(block_addr: u64) -> u64 {
+    TX.with(|tx| {
+        let tx = tx.borrow();
+        match tx.as_ref() {
+            Some(tx) => *tx.redirects.get(&block_addr).unwrap_or(&block_addr),
+            None => block_addr,
+        }
+    })
+}
+
+/// Resolve a block address for a write inside a failure-atomic block,
+/// creating the in-flight copy and log entry on first touch.
+pub(crate) fn redirect_write(rt: &Jnvm, master_addr: u64, block_addr: u64) -> u64 {
+    TX.with(|tx| {
+        let mut tx = tx.borrow_mut();
+        let tx = tx.as_mut().expect("depth > 0 implies an active transaction");
+        assert!(
+            Arc::ptr_eq(&tx.rt, rt),
+            "failure-atomic block active on a different runtime"
+        );
+        if tx.allocated.contains(&master_addr) {
+            // Fresh (invalid) object: write in place (§4.2).
+            return block_addr;
+        }
+        if let Some(inflight) = tx.redirects.get(&block_addr) {
+            return *inflight;
+        }
+        let heap = rt.heap();
+        let inflight_idx = heap.alloc_block().expect("persistent heap exhausted (in-flight block)");
+        let inflight = heap.block_addr(inflight_idx);
+        let pmem = rt.pmem();
+        // Clear any stale header so recovery sees the copy as a free block.
+        pmem.write_u64(inflight, 0);
+        // Copy the original payload.
+        let mut buf = vec![0u8; heap.payload_size() as usize];
+        pmem.read_bytes(block_addr + 8, &mut buf);
+        pmem.write_bytes(inflight + 8, &buf);
+        append_entry(rt, tx, KIND_WRITE, block_addr, inflight);
+        tx.redirects.insert(block_addr, inflight);
+        inflight
+    })
+}
+
+/// Record an allocation performed inside the active failure-atomic block
+/// (no-op outside one). The object will be validated at commit.
+pub(crate) fn note_alloc(rt: &Jnvm, master_addr: u64) {
+    if depth() == 0 {
+        return;
+    }
+    TX.with(|tx| {
+        let mut tx = tx.borrow_mut();
+        let tx = tx.as_mut().expect("depth > 0 implies an active transaction");
+        append_entry(rt, tx, KIND_ALLOC, master_addr, 0);
+        tx.allocated.insert(master_addr);
+    });
+}
+
+/// Record a free inside the active failure-atomic block. Returns `true` if
+/// the free was deferred to commit, `false` if no block is active and the
+/// caller must free immediately.
+pub(crate) fn note_free(rt: &Jnvm, addr: u64) -> bool {
+    if depth() == 0 {
+        return false;
+    }
+    TX.with(|tx| {
+        let mut tx = tx.borrow_mut();
+        let tx = tx.as_mut().expect("depth > 0 implies an active transaction");
+        append_entry(rt, tx, KIND_FREE, addr, 0);
+    });
+    true
+}
+
+fn append_entry(rt: &Jnvm, tx: &mut TxState, kind: u64, a: u64, b: u64) {
+    let logical = LOG_ENTRIES + tx.count * ENTRY_BYTES;
+    // Grow the log if needed.
+    while logical + ENTRY_BYTES > tx.log.chain.capacity() {
+        let heap = rt.heap();
+        let master_idx = heap.block_of_addr(tx.log.addr());
+        let added = heap.extend_chain(master_idx, 4).expect("heap exhausted growing redo log");
+        tx.log
+            .chain
+            .blocks
+            .extend(added.into_iter().map(|bk| heap.block_addr(bk)));
+    }
+    let pmem = rt.pmem();
+    let c = &tx.log.chain;
+    // Entries are 24 bytes in a 248-byte payload: a word may straddle
+    // blocks, so use segment-safe writes.
+    let mut bytes = [0u8; 24];
+    bytes[0..8].copy_from_slice(&kind.to_le_bytes());
+    bytes[8..16].copy_from_slice(&a.to_le_bytes());
+    bytes[16..24].copy_from_slice(&b.to_le_bytes());
+    crate::registry::write_chain_bytes(c, pmem, logical, &bytes);
+    c.segments(logical, ENTRY_BYTES, |addr, len| pmem.pwb_range(addr, len));
+    tx.count += 1;
+}
+
+fn read_entry(rt: &JnvmRuntime, chain: &RawChain, i: u64) -> (u64, u64, u64) {
+    let mut bytes = [0u8; 24];
+    crate::registry::read_chain_bytes(chain, rt.pmem(), LOG_ENTRIES + i * ENTRY_BYTES, &mut bytes);
+    (
+        u64::from_le_bytes(bytes[0..8].try_into().expect("slice of 8")),
+        u64::from_le_bytes(bytes[8..16].try_into().expect("slice of 8")),
+        u64::from_le_bytes(bytes[16..24].try_into().expect("slice of 8")),
+    )
+}
+
+/// Apply the first `count` entries of a log. `runtime_commit` is true when
+/// called from a live commit (in-flight blocks are recycled through the
+/// volatile free queue); false during post-crash replay (the recovery GC
+/// will reclaim them).
+fn apply_entries(rt: &Jnvm, chain: &RawChain, count: u64, runtime_commit: bool) {
+    let pmem = rt.pmem();
+    let heap = rt.heap();
+    let psize = heap.payload_size() as usize;
+    let mut buf = vec![0u8; psize];
+    // Frees are deferred past the last entry: once a block enters the free
+    // queue another thread may reuse it, so no later Write entry of this
+    // commit may still target it.
+    let mut frees = Vec::new();
+    let mut retired_inflight = Vec::new();
+    for i in 0..count {
+        let (kind, a, b) = read_entry(rt, chain, i);
+        match kind {
+            KIND_ALLOC => {
+                rt.set_valid_addr(a, true);
+            }
+            KIND_FREE => frees.push(a),
+            KIND_WRITE => {
+                pmem.read_bytes(b + 8, &mut buf);
+                pmem.write_bytes(a + 8, &buf);
+                pmem.pwb_range(a + 8, psize as u64);
+                if runtime_commit {
+                    retired_inflight.push(heap.block_of_addr(b));
+                }
+            }
+            other => panic!("corrupt redo log: entry kind {other}"),
+        }
+    }
+    for a in frees {
+        if runtime_commit {
+            rt.free_addr_now(a);
+        } else {
+            // During replay only invalidate persistently; the GC rebuilds
+            // the free queue afterwards.
+            rt.set_valid_addr(a, false);
+        }
+    }
+    for b in retired_inflight {
+        heap.push_free(b);
+    }
+}
+
+impl JnvmRuntime {
+    /// Execute `f` as a failure-atomic block (§4.2): it runs entirely or —
+    /// if a crash intervenes — not at all. Nested calls fold into the
+    /// outermost block. If `f` panics, the block aborts: in-place state is
+    /// untouched, allocations are released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block from *another* runtime is active on this thread,
+    /// or on persistent-heap exhaustion.
+    pub fn fa<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        let outermost = depth() == 0;
+        if outermost {
+            let log = self.fa_manager().acquire_log(self);
+            TX.with(|tx| {
+                *tx.borrow_mut() = Some(TxState {
+                    rt: Arc::clone(self),
+                    log,
+                    count: 0,
+                    redirects: HashMap::new(),
+                    allocated: HashSet::new(),
+                });
+            });
+        } else {
+            TX.with(|tx| {
+                let tx = tx.borrow();
+                let tx = tx.as_ref().expect("depth > 0 implies an active transaction");
+                assert!(
+                    Arc::ptr_eq(&tx.rt, self),
+                    "failure-atomic block active on a different runtime"
+                );
+            });
+        }
+        TX_DEPTH.with(|d| d.set(d.get() + 1));
+        // Abort on unwind.
+        struct Guard<'a> {
+            rt: &'a Arc<JnvmRuntime>,
+            outermost: bool,
+            committed: bool,
+        }
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                TX_DEPTH.with(|d| d.set(d.get() - 1));
+                if self.outermost && !self.committed {
+                    abort_tx(self.rt);
+                }
+            }
+        }
+        let mut guard = Guard {
+            rt: self,
+            outermost,
+            committed: false,
+        };
+        let r = f();
+        if guard.outermost {
+            commit_tx(self);
+            guard.committed = true;
+        }
+        drop(guard);
+        r
+    }
+
+    /// Explicit `faStart()`/`faEnd()` pairs are not exposed; use
+    /// [`JnvmRuntime::fa`]. This reports whether the calling thread is
+    /// currently inside a failure-atomic block.
+    pub fn in_fa(&self) -> bool {
+        depth() > 0
+    }
+}
+
+fn commit_tx(rt: &Jnvm) {
+    let state = TX.with(|tx| tx.borrow_mut().take().expect("commit without transaction"));
+    let pmem = rt.pmem();
+    let heap = rt.heap();
+    if state.count == 0 {
+        rt.fa_manager().release_log(state.log);
+        return;
+    }
+    // 1. In-flight payloads reach the write-pending queue (entries already
+    //    have). Objects *allocated* in this block were written in place
+    //    with their explicit flushes suppressed by the mediation — the
+    //    commit owns their write-back ("all the persistent stores of a
+    //    block are propagated to NVMM at the end of the block", §3.2.2).
+    //    Then everything is fenced.
+    for inflight in state.redirects.values() {
+        pmem.pwb_range(inflight + 8, heap.payload_size());
+    }
+    for master in &state.allocated {
+        if rt.pools().is_pooled_addr(*master) {
+            pmem.pwb_range(*master, 8 + rt.pools().slot_payload(*master));
+        } else {
+            for b in heap.chain_blocks(heap.block_of_addr(*master)) {
+                pmem.pwb_range(heap.block_addr(b), heap.block_size());
+            }
+        }
+    }
+    pmem.pfence();
+    // 2. Commit point.
+    pmem.write_u64(state.log.chain.phys(LOG_COUNT), state.count);
+    pmem.write_u64(state.log.chain.phys(LOG_COMMITTED), 1);
+    pmem.pwb(state.log.chain.phys(LOG_COMMITTED));
+    pmem.pwb(state.log.chain.phys(LOG_COUNT));
+    pmem.pfence();
+    // 3. Apply (fence-free: a crash replays the committed log).
+    apply_entries(rt, &state.log.chain, state.count, true);
+    // 4. Retire the log before reuse.
+    pmem.write_u64(state.log.chain.phys(LOG_COMMITTED), 0);
+    pmem.pwb(state.log.chain.phys(LOG_COMMITTED));
+    pmem.pfence();
+    rt.fa_manager().release_log(state.log);
+}
+
+fn abort_tx(rt: &Jnvm) {
+    let state = TX.with(|tx| tx.borrow_mut().take().expect("abort without transaction"));
+    let heap = rt.heap();
+    // Release in-flight copies (contents irrelevant, headers already 0).
+    for inflight in state.redirects.values() {
+        heap.push_free(heap.block_of_addr(*inflight));
+    }
+    // Release objects allocated inside the aborted block.
+    for master in &state.allocated {
+        rt.free_addr_now(*master);
+    }
+    // The log was never committed; its entries are dead.
+    rt.fa_manager().release_log(state.log);
+}

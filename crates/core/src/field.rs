@@ -1,0 +1,75 @@
+//! Typed field storage for generated persistent classes.
+//!
+//! Every primitive field of a generated class occupies one 8-byte word of
+//! the persistent payload (the paper packs `int`s at 4 bytes; we trade a
+//! little NVMM for uniform one-word fields, which keeps generated offsets
+//! trivially correct — the asymmetries the evaluation measures are
+//! unaffected).
+
+use crate::proxy::Proxy;
+
+/// A primitive value storable in a one-word persistent field.
+pub trait PVal: Copy {
+    /// Read the field at logical payload offset `off`.
+    fn read(p: &Proxy, off: u64) -> Self;
+    /// Write the field at logical payload offset `off`.
+    fn write(p: &Proxy, off: u64, v: Self);
+}
+
+macro_rules! impl_pval_int {
+    ($($t:ty),*) => {
+        $(impl PVal for $t {
+            #[inline]
+            fn read(p: &Proxy, off: u64) -> Self {
+                p.read_u64(off) as $t
+            }
+            #[inline]
+            fn write(p: &Proxy, off: u64, v: Self) {
+                // Sign-extend / zero-extend through the natural cast.
+                p.write_u64(off, v as u64);
+            }
+        })*
+    };
+}
+
+impl_pval_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PVal for bool {
+    #[inline]
+    fn read(p: &Proxy, off: u64) -> Self {
+        p.read_u64(off) != 0
+    }
+    #[inline]
+    fn write(p: &Proxy, off: u64, v: Self) {
+        p.write_u64(off, v as u64);
+    }
+}
+
+impl PVal for f64 {
+    #[inline]
+    fn read(p: &Proxy, off: u64) -> Self {
+        f64::from_bits(p.read_u64(off))
+    }
+    #[inline]
+    fn write(p: &Proxy, off: u64, v: Self) {
+        p.write_u64(off, v.to_bits());
+    }
+}
+
+impl PVal for f32 {
+    #[inline]
+    fn read(p: &Proxy, off: u64) -> Self {
+        f32::from_bits(p.read_u64(off) as u32)
+    }
+    #[inline]
+    fn write(p: &Proxy, off: u64, v: Self) {
+        p.write_u64(off, v.to_bits() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // PVal round-trips are exercised through the `persistent_class!` tests
+    // in `macros.rs` and the integration tests; sign-extension corner cases
+    // are covered here via the public Proxy API in lib-level tests.
+}

@@ -1,0 +1,413 @@
+//! Volatile proxies over chained persistent data structures.
+//!
+//! A persistent object occupies one or more fixed-size blocks. Instead of a
+//! single address, a proxy caches **the addresses of all its blocks**
+//! (§4.1: "the proxy actually contains an array that holds the addresses of
+//! all its blocks"), so locating the block of a field is a division.
+//!
+//! Field accessors are *mediated*: each load/store checks the per-thread
+//! failure-atomic nesting counter (§3.2). Inside a failure-atomic block,
+//! writes are redirected to in-flight block copies and reads observe them;
+//! outside, accesses go straight to NVMM.
+
+use jnvm_heap::HEADER_BYTES;
+
+use crate::fa;
+use crate::runtime::{Jnvm, JnvmRuntime};
+
+/// Address computation over a chain of blocks, without transactional
+/// mediation. Shared by proxies, the failure-atomic log and the recovery
+/// code.
+#[derive(Debug, Clone)]
+pub struct RawChain {
+    /// Byte addresses of the chain's blocks, master first.
+    pub blocks: Vec<u64>,
+    /// Usable payload bytes per block.
+    pub payload: u64,
+}
+
+impl RawChain {
+    /// Walk the chain headers starting at the master block address.
+    pub fn open(rt: &JnvmRuntime, master_addr: u64) -> RawChain {
+        let heap = rt.heap();
+        let idx = heap.block_of_addr(master_addr);
+        let blocks = heap
+            .chain_blocks(idx)
+            .into_iter()
+            .map(|b| heap.block_addr(b))
+            .collect();
+        RawChain {
+            blocks,
+            payload: heap.payload_size(),
+        }
+    }
+
+    /// Total payload capacity of the chain.
+    pub fn capacity(&self) -> u64 {
+        self.blocks.len() as u64 * self.payload
+    }
+
+    /// Map a logical payload offset to `(block index in chain, offset from
+    /// block start)`.
+    #[inline]
+    pub fn locate(&self, logical: u64) -> (usize, u64) {
+        let bi = (logical / self.payload) as usize;
+        let off = HEADER_BYTES + logical % self.payload;
+        (bi, off)
+    }
+
+    /// Physical byte address of a logical payload offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is beyond the chain's capacity.
+    #[inline]
+    pub fn phys(&self, logical: u64) -> u64 {
+        let (bi, off) = self.locate(logical);
+        self.blocks[bi] + off
+    }
+
+    /// Iterate the `(physical address, length)` segments covering the
+    /// logical range `[logical, logical + len)`.
+    pub fn segments(&self, mut logical: u64, mut len: u64, mut f: impl FnMut(u64, u64)) {
+        while len > 0 {
+            let (bi, off) = self.locate(logical);
+            let in_block = (self.payload - (off - HEADER_BYTES)).min(len);
+            f(self.blocks[bi] + off, in_block);
+            logical += in_block;
+            len -= in_block;
+        }
+    }
+
+    /// Read bytes at a logical offset, block-segment safe. Unmediated
+    /// (bypasses failure-atomic redirection) — low-level interface only.
+    pub fn read_bytes(&self, pmem: &jnvm_pmem::Pmem, logical: u64, out: &mut [u8]) {
+        let mut done = 0usize;
+        self.segments(logical, out.len() as u64, |addr, len| {
+            pmem.read_bytes(addr, &mut out[done..done + len as usize]);
+            done += len as usize;
+        });
+    }
+
+    /// Write bytes at a logical offset, block-segment safe, no flush.
+    /// Unmediated — low-level interface only.
+    pub fn write_bytes(&self, pmem: &jnvm_pmem::Pmem, logical: u64, data: &[u8]) {
+        let mut done = 0usize;
+        self.segments(logical, data.len() as u64, |addr, len| {
+            pmem.write_bytes(addr, &data[done..done + len as usize]);
+            done += len as usize;
+        });
+    }
+
+    /// `pwb` every line covering the logical range.
+    pub fn pwb_range(&self, pmem: &jnvm_pmem::Pmem, logical: u64, len: u64) {
+        self.segments(logical, len.max(1), |addr, seg| {
+            pmem.pwb_range(addr, seg);
+        });
+    }
+}
+
+/// A proxy to a block-allocated persistent object.
+///
+/// Cloning a proxy is cheap and yields another view of the same persistent
+/// data structure — like copying a Java reference.
+#[derive(Clone)]
+pub struct Proxy {
+    rt: Jnvm,
+    chain: RawChain,
+    class_id: u16,
+}
+
+impl Proxy {
+    /// Allocate the persistent data structure for a new object of class
+    /// `class_id` with `payload` bytes of fields, returning its proxy.
+    ///
+    /// The object starts **invalid** (§4.1.4); it becomes alive once
+    /// flushed, validated and reachable. Inside a failure-atomic block the
+    /// allocation is logged and validation happens at commit (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on heap exhaustion. (Persistent-heap OOM is unrecoverable for
+    /// the workloads this crate targets; a fallible variant is
+    /// [`Proxy::try_alloc`].)
+    pub fn alloc(rt: &Jnvm, class_id: u16, payload: u64) -> Proxy {
+        Proxy::try_alloc(rt, class_id, payload).expect("persistent heap exhausted")
+    }
+
+    /// Fallible [`Proxy::alloc`].
+    pub fn try_alloc(rt: &Jnvm, class_id: u16, payload: u64) -> Result<Proxy, crate::JnvmError> {
+        let heap = rt.heap();
+        let master_idx = heap.alloc_chain(class_id, payload)?;
+        let master_addr = heap.block_addr(master_idx);
+        fa::note_alloc(rt, master_addr);
+        Ok(Proxy {
+            rt: rt.clone(),
+            chain: RawChain::open(rt, master_addr),
+            class_id,
+        })
+    }
+
+    /// Open a proxy over the existing object at `master_addr`.
+    pub fn open(rt: &Jnvm, master_addr: u64) -> Proxy {
+        let chain = RawChain::open(rt, master_addr);
+        let class_id = rt.heap().read_header(rt.heap().block_of_addr(master_addr)).id;
+        Proxy {
+            rt: rt.clone(),
+            chain,
+            class_id,
+        }
+    }
+
+    /// The runtime this proxy belongs to.
+    pub fn runtime(&self) -> &Jnvm {
+        &self.rt
+    }
+
+    /// Master-block byte address (the persistent identity of the object).
+    pub fn addr(&self) -> u64 {
+        self.chain.blocks[0]
+    }
+
+    /// Class id from allocation/open time.
+    pub fn class_id(&self) -> u16 {
+        self.class_id
+    }
+
+    /// Payload capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.chain.capacity()
+    }
+
+    /// Number of blocks in the chain.
+    pub fn block_count(&self) -> usize {
+        self.chain.blocks.len()
+    }
+
+    /// The underlying chain (low-level interface).
+    pub fn chain(&self) -> &RawChain {
+        &self.chain
+    }
+
+    /// Grow the object by `extra_blocks`, refreshing the cached block
+    /// array. Fence-free append (§4.1.6 relies on this for extensible
+    /// arrays).
+    pub fn extend(&mut self, extra_blocks: u64) -> Result<(), crate::JnvmError> {
+        let heap = self.rt.heap();
+        let master_idx = heap.block_of_addr(self.addr());
+        let added = heap.extend_chain(master_idx, extra_blocks)?;
+        self.chain
+            .blocks
+            .extend(added.into_iter().map(|b| heap.block_addr(b)));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Mediated field accessors.
+    // ------------------------------------------------------------------
+
+    /// Read a `u64` field at logical payload offset `off` (8-byte aligned).
+    #[inline]
+    pub fn read_u64(&self, off: u64) -> u64 {
+        debug_assert!(off % 8 == 0, "word fields must be 8-byte aligned");
+        let (bi, boff) = self.chain.locate(off);
+        let block = self.resolve_read(self.chain.blocks[bi]);
+        self.rt.pmem().read_u64(block + boff)
+    }
+
+    /// Write a `u64` field at logical payload offset `off` (8-byte aligned).
+    #[inline]
+    pub fn write_u64(&self, off: u64, v: u64) {
+        debug_assert!(off % 8 == 0, "word fields must be 8-byte aligned");
+        let (bi, boff) = self.chain.locate(off);
+        let block = self.resolve_write(self.chain.blocks[bi]);
+        self.rt.pmem().write_u64(block + boff, v);
+    }
+
+    /// Read an `i64` field.
+    #[inline]
+    pub fn read_i64(&self, off: u64) -> i64 {
+        self.read_u64(off) as i64
+    }
+
+    /// Write an `i64` field.
+    #[inline]
+    pub fn write_i64(&self, off: u64, v: i64) {
+        self.write_u64(off, v as u64)
+    }
+
+    /// Read an `i32` field (stored in a full word).
+    #[inline]
+    pub fn read_i32(&self, off: u64) -> i32 {
+        self.read_u64(off) as u32 as i32
+    }
+
+    /// Write an `i32` field (stored in a full word).
+    #[inline]
+    pub fn write_i32(&self, off: u64, v: i32) {
+        self.write_u64(off, v as u32 as u64)
+    }
+
+    /// Read an `f64` field.
+    #[inline]
+    pub fn read_f64(&self, off: u64) -> f64 {
+        f64::from_bits(self.read_u64(off))
+    }
+
+    /// Write an `f64` field.
+    #[inline]
+    pub fn write_f64(&self, off: u64, v: f64) {
+        self.write_u64(off, v.to_bits())
+    }
+
+    /// Read a `bool` field (stored in a full word).
+    #[inline]
+    pub fn read_bool(&self, off: u64) -> bool {
+        self.read_u64(off) != 0
+    }
+
+    /// Write a `bool` field (stored in a full word).
+    #[inline]
+    pub fn write_bool(&self, off: u64, v: bool) {
+        self.write_u64(off, v as u64)
+    }
+
+    /// Read raw bytes from the logical payload range starting at `off`.
+    pub fn read_bytes(&self, off: u64, out: &mut [u8]) {
+        let mut done = 0usize;
+        self.chain.segments(off, out.len() as u64, |addr, len| {
+            let block_base = addr - addr % self.rt.heap().block_size();
+            let resolved = self.resolve_read(block_base);
+            self.rt
+                .pmem()
+                .read_bytes(resolved + (addr - block_base), &mut out[done..done + len as usize]);
+            done += len as usize;
+        });
+    }
+
+    /// Write raw bytes into the logical payload range starting at `off`.
+    pub fn write_bytes(&self, off: u64, data: &[u8]) {
+        let mut done = 0usize;
+        self.chain.segments(off, data.len() as u64, |addr, len| {
+            let block_base = addr - addr % self.rt.heap().block_size();
+            let resolved = self.resolve_write(block_base);
+            self.rt
+                .pmem()
+                .write_bytes(resolved + (addr - block_base), &data[done..done + len as usize]);
+            done += len as usize;
+        });
+    }
+
+    /// Read a persistent reference field: the byte address of the referenced
+    /// object's data structure, or `None` for null.
+    #[inline]
+    pub fn read_ref(&self, off: u64) -> Option<u64> {
+        match self.read_u64(off) {
+            0 => None,
+            a => Some(a),
+        }
+    }
+
+    /// Write a persistent reference field (`None` stores null). The Java
+    /// type system of the paper guarantees NVMM never holds references to
+    /// volatile objects; here the guarantee comes from `addr` always
+    /// originating from a [`crate::PObject::addr`].
+    #[inline]
+    pub fn write_ref(&self, off: u64, addr: Option<u64>) {
+        self.write_u64(off, addr.unwrap_or(0));
+    }
+
+    #[inline]
+    fn resolve_read(&self, block_addr: u64) -> u64 {
+        if fa::depth() > 0 {
+            fa::redirect_read(block_addr)
+        } else {
+            block_addr
+        }
+    }
+
+    #[inline]
+    fn resolve_write(&self, block_addr: u64) -> u64 {
+        if fa::depth() > 0 {
+            fa::redirect_write(&self.rt, self.addr(), block_addr)
+        } else {
+            block_addr
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence control (low-level interface, §3.2.2).
+    // ------------------------------------------------------------------
+
+    /// `pwb()` of the paper: enqueue every cache line of the object
+    /// (headers included) for write-back. No-op inside a failure-atomic
+    /// block, where the commit protocol owns flushing.
+    pub fn pwb(&self) {
+        if fa::depth() > 0 {
+            return;
+        }
+        let bs = self.rt.heap().block_size();
+        for b in &self.chain.blocks {
+            self.rt.pmem().pwb_range(*b, bs);
+        }
+    }
+
+    /// `pwbX()` of the paper: enqueue only the lines holding the field at
+    /// logical offset `off` (length `len`). No-op inside a failure-atomic
+    /// block.
+    pub fn pwb_field(&self, off: u64, len: u64) {
+        if fa::depth() > 0 {
+            return;
+        }
+        self.chain.segments(off, len.max(1), |addr, seg| {
+            self.rt.pmem().pwb_range(addr, seg);
+        });
+    }
+
+    /// Whether the object is currently valid (§3.2.3).
+    pub fn is_valid(&self) -> bool {
+        let heap = self.rt.heap();
+        heap.read_header(heap.block_of_addr(self.addr())).valid
+    }
+
+    /// Validate the object: set the header valid bit and enqueue its line.
+    /// Deliberately fence-free so several validations can share one fence
+    /// (Figure 5 of the paper).
+    pub fn validate(&self) {
+        let heap = self.rt.heap();
+        heap.set_valid(heap.block_of_addr(self.addr()), true);
+    }
+
+    /// Atomic reference update (Figure 6): validate `new`, fence, then
+    /// store the reference — guaranteeing the recovery pass can never find
+    /// the slot pointing at an invalid object.
+    pub fn update_ref(&self, off: u64, new: Option<&Proxy>) {
+        if let Some(n) = new {
+            n.validate();
+        }
+        self.rt.pfence();
+        self.write_ref(off, new.map(|n| n.addr()));
+        self.pwb_field(off, 8);
+    }
+
+    /// Atomic replace-and-free (§4.1.6 second helper): like
+    /// [`Proxy::update_ref`], additionally freeing the previously referenced
+    /// object, all under the same single fence.
+    pub fn replace_ref_and_free(&self, off: u64, new: Option<&Proxy>) {
+        let old = self.read_ref(off);
+        self.update_ref(off, new);
+        if let Some(old_addr) = old {
+            self.rt.free_addr(old_addr);
+        }
+    }
+}
+
+impl std::fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proxy")
+            .field("addr", &self.addr())
+            .field("class_id", &self.class_id)
+            .field("blocks", &self.chain.blocks.len())
+            .finish()
+    }
+}

@@ -1,0 +1,203 @@
+//! The recovery procedure (§4.1.3): replay failure-atomic logs, then run a
+//! recovery-time garbage collection that implements liveness by
+//! reachability (§2.4) — the paper's replacement for a runtime GC.
+//!
+//! Two modes are provided, matching the paper's evaluation (§5.3.3):
+//!
+//! * [`RecoveryMode::Full`] — traverse the live object graph from the
+//!   persistent roots, nullify references to invalid objects, call each
+//!   class's `recover` hook, then reclaim every unreachable block.
+//! * [`RecoveryMode::HeaderScanOnly`] — the *J-PFA-nogc* variant: inspect
+//!   only block headers, keeping valid masters (and their chains) and
+//!   freeing the rest. Correct only when the application cannot produce
+//!   invalid-but-reachable objects (e.g. every allocation and its
+//!   publication share one failure-atomic block).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use jnvm_heap::CLASS_ID_POOL;
+
+use crate::error::JnvmError;
+use crate::proxy::RawChain;
+use crate::runtime::Jnvm;
+
+/// Which recovery algorithm to run at open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Graph traversal + reclamation (the default).
+    #[default]
+    Full,
+    /// Header inspection only (J-PFA-nogc).
+    HeaderScanOnly,
+}
+
+/// What recovery did, with timings — the quantities behind Figure 11.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Mode that ran.
+    pub mode_full: bool,
+    /// Committed failure-atomic logs replayed.
+    pub replayed_logs: u64,
+    /// Uncommitted logs abandoned.
+    pub abandoned_logs: u64,
+    /// Live objects visited (Full mode) or valid masters kept (HeaderScan).
+    pub live_objects: u64,
+    /// Blocks found live.
+    pub live_blocks: u64,
+    /// Blocks reclaimed into the free queue.
+    pub freed_blocks: u64,
+    /// Dangling references nullified (Full mode only).
+    pub nullified_refs: u64,
+    /// Wall time of log replay.
+    pub log_time: Duration,
+    /// Wall time of the collection pass.
+    pub gc_time: Duration,
+}
+
+pub(crate) fn run(rt: &Jnvm, mode: RecoveryMode) -> Result<RecoveryReport, JnvmError> {
+    let mut report = RecoveryReport {
+        mode_full: mode == RecoveryMode::Full,
+        ..Default::default()
+    };
+    // 1. Failure-atomic logs first (§4.2).
+    let t0 = Instant::now();
+    let (replayed, abandoned) = rt.fa_manager().recover_logs(rt);
+    report.replayed_logs = replayed;
+    report.abandoned_logs = abandoned;
+    report.log_time = t0.elapsed();
+
+    // 2. Collection pass.
+    let t1 = Instant::now();
+    match mode {
+        RecoveryMode::Full => full_gc(rt, &mut report)?,
+        RecoveryMode::HeaderScanOnly => header_scan(rt, &mut report),
+    }
+    report.gc_time = t1.elapsed();
+    rt.pmem().psync();
+    Ok(report)
+}
+
+fn object_valid(rt: &Jnvm, addr: u64) -> bool {
+    if rt.pools().is_pooled_addr(addr) {
+        rt.pools().read_mini(addr).valid
+    } else {
+        let heap = rt.heap();
+        let idx = heap.block_of_addr(addr);
+        if idx < heap.data_start() || idx >= heap.nblocks() {
+            return false;
+        }
+        heap.read_header(idx).is_valid_master()
+    }
+}
+
+fn full_gc(rt: &Jnvm, report: &mut RecoveryReport) -> Result<(), JnvmError> {
+    let heap = rt.heap();
+    let pmem = rt.pmem();
+    let mut bitmap = heap.new_bitmap();
+    let mut live_slots: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<u64> = Vec::new();
+
+    // Roots: class table, root map, log directory (whose tracer yields the
+    // logs). Root slots are written once at format time; all three exist.
+    for slot in 0..3 {
+        let addr = heap.root_slot(slot);
+        if addr != 0 {
+            stack.push(addr);
+        }
+    }
+
+    while let Some(addr) = stack.pop() {
+        // Mark.
+        if rt.pools().is_pooled_addr(addr) {
+            if !live_slots.insert(addr) {
+                continue;
+            }
+            bitmap.mark(heap.block_of_addr(addr));
+        } else {
+            let idx = heap.block_of_addr(addr);
+            if bitmap.is_marked(idx) {
+                continue;
+            }
+            for b in heap.chain_blocks(idx) {
+                bitmap.mark(b);
+            }
+        }
+        report.live_objects += 1;
+
+        // Trace.
+        let class_id = rt.class_id_of_addr(addr);
+        let ops = *rt
+            .registry()
+            .ops_of_id(class_id)
+            .ok_or_else(|| JnvmError::UnknownPersistedClass(format!("id {class_id}")))?;
+        let mut slots: Vec<u64> = Vec::new();
+        if !ops.ref_offsets.is_empty() {
+            if rt.pools().is_pooled_addr(addr) {
+                for off in ops.ref_offsets {
+                    slots.push(addr + 8 + off);
+                }
+            } else {
+                let chain = RawChain::open(rt, addr);
+                for off in ops.ref_offsets {
+                    slots.push(chain.phys(*off));
+                }
+            }
+        }
+        (ops.trace_extra)(rt, addr, &mut |slot| slots.push(slot));
+
+        for slot in slots {
+            let r = pmem.read_u64(slot);
+            if r == 0 {
+                continue;
+            }
+            if object_valid(rt, r) {
+                stack.push(r);
+            } else {
+                // §2.4: a reference to a partially deleted (or never
+                // validated) object is nullified.
+                pmem.write_u64(slot, 0);
+                pmem.pwb(slot);
+                report.nullified_refs += 1;
+            }
+        }
+        (ops.recover)(rt, addr);
+    }
+
+    report.live_blocks = bitmap.marked_count();
+    rt.pools().rebuild(&bitmap, &live_slots);
+    report.freed_blocks = heap.rebuild_free_queue(&bitmap);
+    Ok(())
+}
+
+fn header_scan(rt: &Jnvm, report: &mut RecoveryReport) {
+    let heap = rt.heap();
+    let mut bitmap = heap.new_bitmap();
+    let mut live_slots: HashSet<u64> = HashSet::new();
+    let mut masters: Vec<u64> = Vec::new();
+    heap.for_each_header(|idx, h| {
+        if h.id == CLASS_ID_POOL {
+            let mut any_live = false;
+            rt.pools().scan_block_slots(idx, |slot, mini| {
+                if mini.id != 0 && mini.valid {
+                    live_slots.insert(slot);
+                    any_live = true;
+                }
+            });
+            if any_live {
+                bitmap.mark(idx);
+            }
+        } else if h.is_valid_master() {
+            masters.push(idx);
+        }
+    });
+    for m in masters {
+        for b in heap.chain_blocks(m) {
+            bitmap.mark(b);
+        }
+        report.live_objects += 1;
+    }
+    report.live_blocks = bitmap.marked_count();
+    rt.pools().rebuild(&bitmap, &live_slots);
+    report.freed_blocks = heap.rebuild_free_queue(&bitmap);
+}

@@ -1,0 +1,246 @@
+//! The J-NVM runtime: pool lifecycle (create / open with recovery), object
+//! allocation and deletion, validation, and the mediated persistence
+//! primitives.
+
+use std::sync::{Arc, OnceLock};
+
+use jnvm_heap::{BlockHeap, HeapConfig, PoolManager};
+use jnvm_pmem::Pmem;
+use parking_lot::Mutex;
+
+use crate::error::JnvmError;
+use crate::fa::{self, FaManager};
+use crate::object::PObject;
+use crate::recovery::{self, RecoveryMode, RecoveryReport};
+use crate::registry::{ClassOps, ClassRegistry};
+use crate::rootmap::RootState;
+
+/// Shared handle to a [`JnvmRuntime`]. Proxies clone this freely.
+pub type Jnvm = Arc<JnvmRuntime>;
+
+/// Builder collecting class registrations before a pool is created or
+/// opened. Registration order determines class ids on a fresh pool; on an
+/// existing pool, persisted names win.
+#[derive(Default)]
+pub struct JnvmBuilder {
+    classes: Vec<ClassOps>,
+}
+
+impl JnvmBuilder {
+    /// Start an empty builder.
+    pub fn new() -> JnvmBuilder {
+        JnvmBuilder::default()
+    }
+
+    /// Register persistent class `T`. Idempotent per class name.
+    pub fn register<T: PObject>(mut self) -> JnvmBuilder {
+        if !self.classes.iter().any(|c| c.name == T::CLASS_NAME) {
+            self.classes.push(ClassOps::of::<T>());
+        }
+        self
+    }
+
+    /// Format a fresh persistent heap over `pmem` and bring up the runtime.
+    pub fn create(self, pmem: Arc<Pmem>, cfg: HeapConfig) -> Result<Jnvm, JnvmError> {
+        let heap = BlockHeap::format(pmem, cfg)?;
+        let rt = JnvmRuntime::bare(heap);
+        let registry = ClassRegistry::create(&rt, &self.classes)?;
+        rt.registry
+            .set(registry)
+            .unwrap_or_else(|_| unreachable!("fresh runtime has no registry"));
+        rt.create_root_map();
+        FaManager::create_dir(&rt);
+        rt.pmem().psync();
+        Ok(rt)
+    }
+
+    /// Open an existing heap: replay failure-atomic logs and run the
+    /// recovery procedure (default [`RecoveryMode::Full`]).
+    pub fn open(self, pmem: Arc<Pmem>) -> Result<(Jnvm, RecoveryReport), JnvmError> {
+        self.open_with_mode(pmem, RecoveryMode::Full)
+    }
+
+    /// Open with an explicit recovery mode (J-PFA-nogc uses
+    /// [`RecoveryMode::HeaderScanOnly`]).
+    pub fn open_with_mode(
+        self,
+        pmem: Arc<Pmem>,
+        mode: RecoveryMode,
+    ) -> Result<(Jnvm, RecoveryReport), JnvmError> {
+        let heap = BlockHeap::open(pmem)?;
+        let rt = JnvmRuntime::bare(heap);
+        let registry = ClassRegistry::open(&rt, &self.classes)?;
+        rt.registry
+            .set(registry)
+            .unwrap_or_else(|_| unreachable!("fresh runtime has no registry"));
+        let report = recovery::run(&rt, mode)?;
+        Ok((rt, report))
+    }
+}
+
+/// The runtime: every persistent-object operation flows through it.
+pub struct JnvmRuntime {
+    heap: Arc<BlockHeap>,
+    pools: PoolManager,
+    registry: OnceLock<ClassRegistry>,
+    root: Mutex<RootState>,
+    fa: FaManager,
+}
+
+impl JnvmRuntime {
+    fn bare(heap: Arc<BlockHeap>) -> Jnvm {
+        let pools = PoolManager::new(Arc::clone(&heap));
+        Arc::new(JnvmRuntime {
+            heap,
+            pools,
+            registry: OnceLock::new(),
+            root: Mutex::new(RootState::default()),
+            fa: FaManager::new(),
+        })
+    }
+
+    /// The underlying device.
+    pub fn pmem(&self) -> &Arc<Pmem> {
+        self.heap.pmem()
+    }
+
+    /// The block heap.
+    pub fn heap(&self) -> &Arc<BlockHeap> {
+        &self.heap
+    }
+
+    /// The small-immutable-object pools.
+    pub fn pools(&self) -> &PoolManager {
+        &self.pools
+    }
+
+    /// The class registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a runtime that failed mid-construction (never
+    /// observable through the public API).
+    pub fn registry(&self) -> &ClassRegistry {
+        self.registry.get().expect("runtime fully constructed")
+    }
+
+    pub(crate) fn root_state(&self) -> &Mutex<RootState> {
+        &self.root
+    }
+
+    pub(crate) fn fa_manager(&self) -> &FaManager {
+        &self.fa
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation and deletion.
+    // ------------------------------------------------------------------
+
+    /// Allocate a pooled small-immutable object (§4.4) of class `T` with
+    /// `payload` bytes. Returns the object's address; the object starts
+    /// invalid. Failure-atomic-block aware.
+    pub fn alloc_pooled<T: PObject>(self: &Jnvm, payload: u64) -> Result<u64, JnvmError> {
+        let id = self.registry().id_of::<T>()?;
+        let addr = self.pools.alloc(id, payload)?;
+        fa::note_alloc(self, addr);
+        Ok(addr)
+    }
+
+    /// Allocate a block-chained object of class `T` with `payload` bytes of
+    /// fields, returning its proxy. Failure-atomic-block aware.
+    pub fn alloc_proxy<T: PObject>(
+        self: &Jnvm,
+        payload: u64,
+    ) -> Result<crate::Proxy, JnvmError> {
+        let id = self.registry().id_of::<T>()?;
+        crate::Proxy::try_alloc(self, id, payload)
+    }
+
+    /// `JNVM.free`: explicitly delete a persistent object (§4.1.5). Inside
+    /// a failure-atomic block the free is logged and deferred to commit.
+    pub fn free<T: PObject>(self: &Jnvm, obj: T) {
+        self.free_addr(obj.addr());
+    }
+
+    /// [`JnvmRuntime::free`] by address.
+    pub fn free_addr(self: &Jnvm, addr: u64) {
+        if !fa::note_free(self, addr) {
+            self.free_addr_now(addr);
+        }
+    }
+
+    /// Immediate free, bypassing any failure-atomic block (used by commit
+    /// and recovery).
+    pub(crate) fn free_addr_now(&self, addr: u64) {
+        if self.pools.is_pooled_addr(addr) {
+            self.pools.free(addr);
+        } else {
+            self.heap.free_object(self.heap.block_of_addr(addr));
+        }
+    }
+
+    /// Set the validity bit of the object at `addr` (pooled or chained) and
+    /// enqueue the header line — fence-free (§3.2.3).
+    pub fn set_valid_addr(&self, addr: u64, valid: bool) {
+        if self.pools.is_pooled_addr(addr) {
+            self.pools.set_valid(addr, valid);
+        } else {
+            self.heap.set_valid(self.heap.block_of_addr(addr), valid);
+        }
+    }
+
+    /// Whether the object at `addr` is valid.
+    pub fn is_valid_addr(&self, addr: u64) -> bool {
+        if self.pools.is_pooled_addr(addr) {
+            self.pools.read_mini(addr).valid
+        } else {
+            self.heap
+                .read_header(self.heap.block_of_addr(addr))
+                .is_valid_master()
+        }
+    }
+
+    /// Class id of the object at `addr`.
+    pub fn class_id_of_addr(&self, addr: u64) -> u16 {
+        crate::registry::class_id_of_addr(self, addr)
+    }
+
+    /// `readPObject` (§3.1): resurrect the object at `addr` as `T`, with a
+    /// class check against the header.
+    pub fn read_pobject<T: PObject>(self: &Jnvm, addr: u64) -> Result<T, JnvmError> {
+        let expected = self.registry().id_of::<T>()?;
+        let found = self.class_id_of_addr(addr);
+        if expected != found {
+            return Err(JnvmError::ClassMismatch { expected, found });
+        }
+        Ok(T::resurrect(self, addr))
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence primitives (mediated).
+    // ------------------------------------------------------------------
+
+    /// `pfence` (§3.2.2). Inside a failure-atomic block this is a no-op:
+    /// the commit protocol owns ordering, exactly as the paper's mediation
+    /// makes low-level flushes transparent under `faStart`/`faEnd`.
+    pub fn pfence(&self) {
+        if fa::depth() == 0 {
+            self.pmem().pfence();
+        }
+    }
+
+    /// `psync` (§3.2.2). No-op inside a failure-atomic block.
+    pub fn psync(&self) {
+        if fa::depth() == 0 {
+            self.pmem().psync();
+        }
+    }
+}
+
+impl std::fmt::Debug for JnvmRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JnvmRuntime")
+            .field("heap", &self.heap)
+            .finish()
+    }
+}

@@ -1,0 +1,336 @@
+//! A generational stop-the-world collector with a write barrier and
+//! remembered set — the HotSpot G1 stand-in behind Figure 1.
+//!
+//! G1's relevant behaviour for the paper's experiment is: frequent cheap
+//! young collections (the marshalling garbage of a data store dies young),
+//! plus old-generation passes whose cost is proportional to the old live
+//! set — which, for Infinispan, is the volatile cache. Compaction and
+//! region selection do not change that asymptotic, so this collector keeps
+//! the generational structure and drops the region machinery (DESIGN.md
+//! records the substitution).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::heap::{ManagedHeap, ObjId};
+use crate::tricolor::GcPass;
+
+/// Generational collector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Young-generation allocation budget per young collection.
+    pub eden_bytes: u64,
+    /// An old collection triggers when the old generation exceeds
+    /// `factor × live bytes measured by the previous old collection`
+    /// (an IHOP-like heuristic).
+    pub old_trigger_factor: f64,
+    /// Floor below which old collections never trigger.
+    pub min_old_bytes: u64,
+    /// Absolute old-occupancy trigger (G1's IHOP as a fraction of a fixed
+    /// heap capacity). 0 disables it and the factor heuristic applies.
+    /// The Figure 1 experiment sets this to 45 % of the per-configuration
+    /// heap size the paper tuned (20/30/100 GB for 1/10/100 % cache).
+    pub old_trigger_bytes: u64,
+    /// Modeled evacuation cost per live object in an old collection
+    /// (G1 mixed collections *copy* live data and rebuild remembered
+    /// sets; pure marking over the arena under-counts that by an order of
+    /// magnitude). 0 = marking only.
+    pub evac_ns_per_obj: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            eden_bytes: 4 << 20,
+            old_trigger_factor: 1.5,
+            min_old_bytes: 16 << 20,
+            old_trigger_bytes: 0,
+            evac_ns_per_obj: 0,
+        }
+    }
+}
+
+/// The generational collector.
+#[derive(Debug)]
+pub struct GenerationalGc {
+    cfg: GenConfig,
+    young: Vec<ObjId>,
+    young_bytes: u64,
+    /// Old objects that may reference young ones.
+    remembered: HashSet<ObjId>,
+    old_bytes: u64,
+    last_old_live: u64,
+    /// Cumulative collection time.
+    pub gc_time: Duration,
+    /// Young passes run.
+    pub young_passes: u64,
+    /// Old (full) passes run.
+    pub full_passes: u64,
+    /// Individual pause durations `(is_full, duration)`.
+    pub pauses: Vec<(bool, Duration)>,
+}
+
+impl GenerationalGc {
+    /// Create with the given tuning.
+    pub fn new(cfg: GenConfig) -> GenerationalGc {
+        GenerationalGc {
+            cfg,
+            young: Vec::new(),
+            young_bytes: 0,
+            remembered: HashSet::new(),
+            old_bytes: 0,
+            last_old_live: 0,
+            gc_time: Duration::ZERO,
+            young_passes: 0,
+            full_passes: 0,
+            pauses: Vec::new(),
+        }
+    }
+
+    /// Bytes currently attributed to the old generation.
+    pub fn old_bytes(&self) -> u64 {
+        self.old_bytes
+    }
+
+    /// Allocate through the collector (tracks the young generation).
+    pub fn alloc(&mut self, heap: &mut ManagedHeap, size: u32, refs: Vec<ObjId>) -> ObjId {
+        let id = heap.alloc(size, refs);
+        self.young.push(id);
+        self.young_bytes += size as u64;
+        id
+    }
+
+    /// Reference-write barrier: records old→young edges in the remembered
+    /// set, then performs the write.
+    pub fn write_ref(&mut self, heap: &mut ManagedHeap, obj: ObjId, slot: usize, target: ObjId) {
+        if heap.objs[obj as usize].generation == 1
+            && target != crate::heap::NIL
+            && heap.objs[target as usize].generation == 0
+        {
+            self.remembered.insert(obj);
+        }
+        heap.set_ref(obj, slot, target);
+    }
+
+    /// Run whatever collections the budgets call for.
+    pub fn maybe_collect(&mut self, heap: &mut ManagedHeap) -> Option<GcPass> {
+        if self.young_bytes < self.cfg.eden_bytes {
+            return None;
+        }
+        let mut pass = self.young_collect(heap);
+        let threshold = if self.cfg.old_trigger_bytes > 0 {
+            self.cfg.old_trigger_bytes
+        } else {
+            self.cfg
+                .min_old_bytes
+                .max((self.last_old_live as f64 * self.cfg.old_trigger_factor) as u64)
+        };
+        if self.old_bytes > threshold {
+            let full = self.full_collect(heap);
+            pass.marked += full.marked;
+            pass.swept += full.swept;
+            pass.duration += full.duration;
+        }
+        Some(pass)
+    }
+
+    /// Collect the young generation: survivors are promoted.
+    pub fn young_collect(&mut self, heap: &mut ManagedHeap) -> GcPass {
+        let start = Instant::now();
+        // Entry points beyond the roots: children of remembered old objects.
+        let mut extra: Vec<ObjId> = Vec::new();
+        for old in &self.remembered {
+            if heap.objs[*old as usize].live {
+                extra.extend(heap.objs[*old as usize].refs.iter().copied());
+            }
+        }
+        let marked = heap.mark(&extra, |o| o.generation == 0);
+        let mut swept = 0;
+        for id in std::mem::take(&mut self.young) {
+            let o = &mut heap.objs[id as usize];
+            if !o.live || o.generation != 0 {
+                continue;
+            }
+            if o.marked {
+                o.marked = false;
+                o.generation = 1;
+                self.old_bytes += o.size as u64;
+            } else {
+                heap.reclaim(id);
+                swept += 1;
+            }
+        }
+        self.young_bytes = 0;
+        heap.bytes_since_gc = 0;
+        // Promotion turned every old→young edge into old→old.
+        self.remembered.clear();
+        let duration = start.elapsed();
+        self.gc_time += duration;
+        self.young_passes += 1;
+        self.pauses.push((false, duration));
+        GcPass {
+            marked,
+            swept,
+            duration,
+        }
+    }
+
+    /// Full collection: trace and sweep the entire heap (the expensive,
+    /// live-set-proportional pass).
+    pub fn full_collect(&mut self, heap: &mut ManagedHeap) -> GcPass {
+        let start = Instant::now();
+        let marked = heap.mark(&[], |_| true);
+        if self.cfg.evac_ns_per_obj > 0 {
+            busy_ns(marked * self.cfg.evac_ns_per_obj);
+        }
+        let mut swept = 0;
+        let mut live_bytes = 0u64;
+        for id in 0..heap.objs.len() as u32 {
+            let o = &mut heap.objs[id as usize];
+            if !o.live {
+                continue;
+            }
+            if o.marked {
+                o.marked = false;
+                o.generation = 1;
+                live_bytes += o.size as u64;
+            } else {
+                heap.reclaim(id);
+                swept += 1;
+            }
+        }
+        self.young.clear();
+        self.young_bytes = 0;
+        self.remembered.clear();
+        self.old_bytes = live_bytes;
+        self.last_old_live = live_bytes;
+        heap.bytes_since_gc = 0;
+        let duration = start.elapsed();
+        self.gc_time += duration;
+        self.full_passes += 1;
+        self.pauses.push((true, duration));
+        GcPass {
+            marked,
+            swept,
+            duration,
+        }
+    }
+}
+
+/// Local busy-wait (gcsim keeps no dependency on jnvm-pmem).
+fn busy_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(eden: u64) -> GenConfig {
+        GenConfig {
+            eden_bytes: eden,
+            old_trigger_factor: 1.5,
+            min_old_bytes: 1 << 30,
+            old_trigger_bytes: 0,
+            evac_ns_per_obj: 0,
+        }
+    }
+
+    #[test]
+    fn young_collection_reclaims_garbage_promotes_survivors() {
+        let mut heap = ManagedHeap::new();
+        let mut gc = GenerationalGc::new(cfg(u64::MAX));
+        let survivor = gc.alloc(&mut heap, 100, vec![]);
+        heap.add_root(survivor);
+        for _ in 0..10 {
+            gc.alloc(&mut heap, 100, vec![]); // garbage
+        }
+        let pass = gc.young_collect(&mut heap);
+        assert_eq!(pass.marked, 1);
+        assert_eq!(pass.swept, 10);
+        assert!(heap.is_live(survivor));
+        assert_eq!(gc.old_bytes(), 100);
+    }
+
+    #[test]
+    fn remembered_set_keeps_young_alive_via_old_parent() {
+        let mut heap = ManagedHeap::new();
+        let mut gc = GenerationalGc::new(cfg(u64::MAX));
+        let parent = gc.alloc(&mut heap, 8, vec![]);
+        heap.add_root(parent);
+        gc.young_collect(&mut heap); // parent is old now
+        let child = gc.alloc(&mut heap, 8, vec![]);
+        gc.write_ref(&mut heap, parent, 0, child);
+        let pass = gc.young_collect(&mut heap);
+        assert_eq!(pass.swept, 0);
+        assert!(heap.is_live(child), "old->young edge must keep child");
+    }
+
+    #[test]
+    fn without_barrier_edge_would_be_missed() {
+        // Sanity-check the test above is meaningful: writing the same edge
+        // *without* the barrier loses the child. (Documents why the
+        // barrier exists; a managed runtime inserts it automatically.)
+        let mut heap = ManagedHeap::new();
+        let mut gc = GenerationalGc::new(cfg(u64::MAX));
+        let parent = gc.alloc(&mut heap, 8, vec![]);
+        heap.add_root(parent);
+        gc.young_collect(&mut heap);
+        let child = gc.alloc(&mut heap, 8, vec![]);
+        heap.set_ref(parent, 0, child); // no barrier
+        gc.young_collect(&mut heap);
+        assert!(!heap.is_live(child));
+    }
+
+    #[test]
+    fn full_collection_cost_tracks_old_live_set() {
+        let mut heap = ManagedHeap::new();
+        let mut gc = GenerationalGc::new(cfg(u64::MAX));
+        for _ in 0..500 {
+            let o = gc.alloc(&mut heap, 64, vec![]);
+            heap.add_root(o);
+        }
+        gc.young_collect(&mut heap);
+        let pass = gc.full_collect(&mut heap);
+        assert_eq!(pass.marked, 500);
+        assert_eq!(gc.old_bytes(), 500 * 64);
+    }
+
+    #[test]
+    fn maybe_collect_honours_eden_budget() {
+        let mut heap = ManagedHeap::new();
+        let mut gc = GenerationalGc::new(cfg(1000));
+        gc.alloc(&mut heap, 100, vec![]);
+        assert!(gc.maybe_collect(&mut heap).is_none());
+        gc.alloc(&mut heap, 2000, vec![]);
+        assert!(gc.maybe_collect(&mut heap).is_some());
+        assert_eq!(gc.young_passes, 1);
+    }
+
+    #[test]
+    fn old_collections_trigger_under_pressure() {
+        let mut heap = ManagedHeap::new();
+        let mut gc = GenerationalGc::new(GenConfig {
+            eden_bytes: 1000,
+            old_trigger_factor: 1.5,
+            min_old_bytes: 2000,
+            old_trigger_bytes: 0,
+            evac_ns_per_obj: 0,
+        });
+        // Retain everything: old generation grows past the floor.
+        for i in 0..100 {
+            let o = gc.alloc(&mut heap, 100, vec![]);
+            heap.add_root(o);
+            let _ = i;
+            gc.maybe_collect(&mut heap);
+        }
+        assert!(gc.full_passes >= 1, "old pressure must trigger full GC");
+        assert!(gc.pauses.iter().any(|(full, _)| *full));
+    }
+}

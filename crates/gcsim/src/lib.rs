@@ -1,0 +1,39 @@
+//! # jnvm-gcsim — a managed-heap simulator with real tracing collectors
+//!
+//! The paper's motivation (§2.2) is quantitative: *running a garbage
+//! collector over a persistent dataset costs CPU time proportional to the
+//! live set, until GC dominates execution*. Rust has no runtime GC, so this
+//! crate builds one — an object arena ([`ManagedHeap`]) plus two
+//! collectors whose work is **real graph traversal over real objects**,
+//! not a cost model:
+//!
+//! * [`TriColorGc`] — stop-the-world mark-sweep triggered every N allocated
+//!   bytes, reproducing go-pmem's collector and its "collect every 10 GB"
+//!   workaround (Figure 2),
+//! * [`GenerationalGc`] — a young/old collector with a write barrier and
+//!   remembered set, standing in for HotSpot G1 (young collections are
+//!   cheap; old-generation collections traverse the whole live set and
+//!   pause the application — the source of Figure 1's completion-time
+//!   blow-up and latency tail).
+//!
+//! On top sit the two stores the paper measures:
+//!
+//! * [`RedisLikeStore`] — go-redis-pmem: every record lives in the managed
+//!   (persistent) heap, so each GC pass visits the entire dataset,
+//! * [`CachedFsStore`] — Infinispan-over-ext4: records live in a file
+//!   system (modeled cost) with a volatile LRU cache of configurable
+//!   ratio; the cache *is* the old-generation live set.
+//!
+//! Dataset sizes are scaled (default 1/100, the harness flags record the
+//! factor); the claim under test is the *scaling law*, which survives
+//! scaling by construction.
+
+mod gen;
+mod heap;
+mod store;
+mod tricolor;
+
+pub use gen::{GenConfig, GenerationalGc};
+pub use heap::{HeapStatsSnapshot, ManagedHeap, ObjId, RootId};
+pub use store::{CachedFsStore, FsCost, RedisLikeStore};
+pub use tricolor::{GcPass, TriColorGc};

@@ -1,0 +1,606 @@
+//! The block heap: format/open, block and chain allocation, free, headers,
+//! root slots and free-queue reconstruction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use jnvm_pmem::Pmem;
+
+use crate::error::HeapError;
+use crate::layout::{
+    BlockHeader, HEADER_BYTES, HEAP_MAGIC, HEAP_VERSION, NULL_BLOCK, ROOT_SLOT_COUNT,
+    SB_BLOCK_SIZE, SB_BUMP, SB_DATA_START, SB_MAGIC, SB_NBLOCKS, SB_ROOT_SLOTS, SB_VERSION,
+    SUPERBLOCK_BYTES,
+};
+use crate::scan::LiveBitmap;
+
+/// Heap geometry parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapConfig {
+    /// Block size in bytes. Must be a power of two, at least 64. The paper
+    /// measures 256 B (Optane's internal write unit) to be optimal (§5.3.5).
+    pub block_size: u64,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig { block_size: 256 }
+    }
+}
+
+/// Volatile counters describing heap occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Blocks handed out since this handle was created.
+    pub blocks_allocated: u64,
+    /// Blocks returned since this handle was created.
+    pub blocks_freed: u64,
+    /// Current bump index (first never-allocated block).
+    pub bump: u64,
+    /// Blocks currently in the volatile free queue.
+    pub free_queue_len: u64,
+    /// Total allocatable blocks in the pool.
+    pub capacity_blocks: u64,
+}
+
+/// The persistent block heap (§4.1).
+///
+/// A `BlockHeap` is a volatile *view* over a [`Pmem`] pool: the free queue
+/// lives in volatile memory and is rebuilt by recovery, exactly as in the
+/// paper. Dropping the view loses nothing.
+pub struct BlockHeap {
+    pmem: Arc<Pmem>,
+    block_size: u64,
+    nblocks: u64,
+    data_start: u64,
+    free: SegQueue<u64>,
+    allocated: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl BlockHeap {
+    /// Format a fresh heap over `pmem`, erasing any previous content of the
+    /// superblock region.
+    pub fn format(pmem: Arc<Pmem>, cfg: HeapConfig) -> Result<Arc<BlockHeap>, HeapError> {
+        if !cfg.block_size.is_power_of_two() || cfg.block_size < 64 {
+            return Err(HeapError::BadSuperblock(format!(
+                "block size {} must be a power of two >= 64",
+                cfg.block_size
+            )));
+        }
+        let nblocks = pmem.len() / cfg.block_size;
+        let data_start = SUPERBLOCK_BYTES.div_ceil(cfg.block_size);
+        if nblocks <= data_start + 1 {
+            return Err(HeapError::BadSuperblock(format!(
+                "pool of {} bytes too small for block size {}",
+                pmem.len(),
+                cfg.block_size
+            )));
+        }
+        pmem.zero_range(0, SUPERBLOCK_BYTES);
+        pmem.write_u64(SB_MAGIC, HEAP_MAGIC);
+        pmem.write_u32(SB_VERSION, HEAP_VERSION);
+        pmem.write_u32(SB_BLOCK_SIZE, cfg.block_size as u32);
+        pmem.write_u64(SB_NBLOCKS, nblocks);
+        pmem.write_u64(SB_BUMP, data_start);
+        pmem.write_u64(SB_DATA_START, data_start);
+        pmem.pwb_range(0, SUPERBLOCK_BYTES);
+        pmem.psync();
+        Ok(Arc::new(BlockHeap {
+            pmem,
+            block_size: cfg.block_size,
+            nblocks,
+            data_start,
+            free: SegQueue::new(),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        }))
+    }
+
+    /// Attach to an existing heap. The free queue starts empty — run the
+    /// `jnvm` recovery procedure (or [`BlockHeap::rebuild_free_queue`]) to
+    /// repopulate it; until then, allocation falls back to the bump pointer.
+    pub fn open(pmem: Arc<Pmem>) -> Result<Arc<BlockHeap>, HeapError> {
+        if pmem.len() < SUPERBLOCK_BYTES {
+            return Err(HeapError::BadSuperblock("pool smaller than superblock".into()));
+        }
+        if pmem.read_u64(SB_MAGIC) != HEAP_MAGIC {
+            return Err(HeapError::BadSuperblock("bad magic".into()));
+        }
+        let version = pmem.read_u32(SB_VERSION);
+        if version != HEAP_VERSION {
+            return Err(HeapError::BadSuperblock(format!("unsupported version {version}")));
+        }
+        let block_size = pmem.read_u32(SB_BLOCK_SIZE) as u64;
+        if !block_size.is_power_of_two() || block_size < 64 {
+            return Err(HeapError::BadSuperblock(format!("corrupt block size {block_size}")));
+        }
+        let nblocks = pmem.read_u64(SB_NBLOCKS);
+        if nblocks > pmem.len() / block_size {
+            return Err(HeapError::BadSuperblock("block count exceeds pool".into()));
+        }
+        let data_start = pmem.read_u64(SB_DATA_START);
+        Ok(Arc::new(BlockHeap {
+            pmem,
+            block_size,
+            nblocks,
+            data_start,
+            free: SegQueue::new(),
+            allocated: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        }))
+    }
+
+    /// The underlying device.
+    pub fn pmem(&self) -> &Arc<Pmem> {
+        &self.pmem
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Usable payload bytes per block (block size minus the header word).
+    pub fn payload_size(&self) -> u64 {
+        self.block_size - HEADER_BYTES
+    }
+
+    /// Total number of blocks (including the superblock region).
+    pub fn nblocks(&self) -> u64 {
+        self.nblocks
+    }
+
+    /// First allocatable block index.
+    pub fn data_start(&self) -> u64 {
+        self.data_start
+    }
+
+    /// Byte address of block `idx`.
+    pub fn block_addr(&self, idx: u64) -> u64 {
+        idx * self.block_size
+    }
+
+    /// Byte address of the payload of block `idx` (just past the header).
+    pub fn payload_addr(&self, idx: u64) -> u64 {
+        idx * self.block_size + HEADER_BYTES
+    }
+
+    /// Block index containing byte address `addr`.
+    pub fn block_of_addr(&self, addr: u64) -> u64 {
+        addr / self.block_size
+    }
+
+    /// Current occupancy counters.
+    pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            blocks_allocated: self.allocated.load(Ordering::Relaxed),
+            blocks_freed: self.freed.load(Ordering::Relaxed),
+            bump: self.bump(),
+            free_queue_len: self.free.len() as u64,
+            capacity_blocks: self.nblocks - self.data_start,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Headers.
+    // ------------------------------------------------------------------
+
+    /// Read the header of block `idx`.
+    pub fn read_header(&self, idx: u64) -> BlockHeader {
+        debug_assert!(idx >= self.data_start && idx < self.nblocks, "block {idx}");
+        BlockHeader::decode(self.pmem.read_u64(self.block_addr(idx)))
+    }
+
+    /// Write the header of block `idx` (no flush — callers decide when the
+    /// header must persist, per the paper's fence-minimization discipline).
+    pub fn write_header(&self, idx: u64, h: BlockHeader) {
+        debug_assert!(idx >= self.data_start && idx < self.nblocks, "block {idx}");
+        self.pmem.write_u64(self.block_addr(idx), h.encode());
+    }
+
+    /// Write the header of block `idx` and enqueue its line for write-back.
+    pub fn write_header_pwb(&self, idx: u64, h: BlockHeader) {
+        self.write_header(idx, h);
+        self.pmem.pwb(self.block_addr(idx));
+    }
+
+    /// Set or clear the valid bit of a master block and `pwb` the header
+    /// line. Does **not** fence (§3.2.3: validation is fence-free so several
+    /// validations can share one fence).
+    pub fn set_valid(&self, idx: u64, valid: bool) {
+        let mut h = self.read_header(idx);
+        h.valid = valid;
+        self.write_header_pwb(idx, h);
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation (§4.1.2, §4.1.4).
+    // ------------------------------------------------------------------
+
+    fn bump(&self) -> u64 {
+        self.pmem.read_u64(SB_BUMP)
+    }
+
+    /// Allocate one raw block. Tries the volatile free queue first, then the
+    /// persistent bump pointer. The block's header is *not* initialized.
+    pub fn alloc_block(&self) -> Result<u64, HeapError> {
+        if let Some(idx) = self.free.pop() {
+            self.allocated.fetch_add(1, Ordering::Relaxed);
+            return Ok(idx);
+        }
+        let idx = self.pmem.fetch_add_u64(SB_BUMP, 1);
+        if idx >= self.nblocks {
+            // Undo is unnecessary: a bump past the end stays past the end.
+            return Err(HeapError::OutOfMemory { requested: 1 });
+        }
+        // Persist the bump lazily (pwb, no fence): recovery recomputes the
+        // effective bump as max(persisted, highest live block + 1).
+        self.pmem.pwb(SB_BUMP);
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        Ok(idx)
+    }
+
+    /// Number of blocks needed for an object with `payload_bytes` of fields.
+    pub fn blocks_for(&self, payload_bytes: u64) -> u64 {
+        payload_bytes.max(1).div_ceil(self.payload_size())
+    }
+
+    /// Allocate the chain of blocks for an object of class `class_id` with
+    /// `payload_bytes` of field data (§4.1.4).
+    ///
+    /// The returned master block is in the **invalid** state; the object
+    /// becomes alive only once reachable *and* validated. No fence is
+    /// executed. Returns the master block index.
+    pub fn alloc_chain(&self, class_id: u16, payload_bytes: u64) -> Result<u64, HeapError> {
+        let n = self.blocks_for(payload_bytes);
+        let mut blocks = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            match self.alloc_block() {
+                Ok(b) => blocks.push(b),
+                Err(e) => {
+                    // Return the partial chain to the free queue.
+                    for b in blocks {
+                        self.free.push(b);
+                        self.freed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = i;
+                    return Err(e);
+                }
+            }
+        }
+        // Link slaves back-to-front, then the master.
+        for w in (1..blocks.len()).rev() {
+            let next = if w + 1 < blocks.len() { blocks[w + 1] } else { NULL_BLOCK };
+            self.write_header(blocks[w], BlockHeader::slave(next));
+        }
+        let next = if blocks.len() > 1 { blocks[1] } else { NULL_BLOCK };
+        self.write_header(blocks[0], BlockHeader::master(class_id, next)?);
+        Ok(blocks[0])
+    }
+
+    /// Collect the block indexes of the object whose master block is
+    /// `master` (the master itself first).
+    pub fn chain_blocks(&self, master: u64) -> Vec<u64> {
+        let mut out = vec![master];
+        let mut cur = self.read_header(master).next;
+        while cur != NULL_BLOCK {
+            out.push(cur);
+            cur = self.read_header(cur).next;
+        }
+        out
+    }
+
+    /// Grow the chain of `master` by `extra` blocks, returning the indexes
+    /// of the new blocks. New blocks are appended at the tail; the tail link
+    /// is published with a `pwb` but no fence.
+    pub fn extend_chain(&self, master: u64, extra: u64) -> Result<Vec<u64>, HeapError> {
+        let chain = self.chain_blocks(master);
+        let mut tail = *chain.last().expect("chain contains at least the master");
+        let mut added = Vec::with_capacity(extra as usize);
+        for _ in 0..extra {
+            let b = self.alloc_block()?;
+            self.write_header(b, BlockHeader::slave(NULL_BLOCK));
+            let mut th = self.read_header(tail);
+            th.next = b;
+            self.write_header_pwb(tail, th);
+            added.push(b);
+            tail = b;
+        }
+        Ok(added)
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion (§4.1.5).
+    // ------------------------------------------------------------------
+
+    /// Free the object rooted at master block `master`: invalidate the
+    /// master (one header write + `pwb`, **no fence** — the paper lets the
+    /// caller batch a single fence over a whole graph of frees) and recycle
+    /// every block of the chain through the volatile free queue.
+    pub fn free_object(&self, master: u64) {
+        let blocks = self.chain_blocks(master);
+        let mut h = self.read_header(master);
+        h.valid = false;
+        self.write_header_pwb(master, h);
+        for b in blocks {
+            self.free.push(b);
+            self.freed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Push a block onto the volatile free queue without touching NVMM
+    /// (recovery path).
+    pub fn push_free(&self, idx: u64) {
+        self.free.push(idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Root slots.
+    // ------------------------------------------------------------------
+
+    /// Read persistent root slot `slot` (0-based, 8 slots). Slots anchor the
+    /// runtime's class table, root map and failure-atomic log directory.
+    pub fn root_slot(&self, slot: u64) -> u64 {
+        assert!(slot < ROOT_SLOT_COUNT, "root slot {slot} out of range");
+        self.pmem.read_u64(SB_ROOT_SLOTS + slot * 8)
+    }
+
+    /// Write persistent root slot `slot`, with `pwb` + `pfence` (root slots
+    /// are written once per pool lifetime; durability simplicity wins).
+    pub fn set_root_slot(&self, slot: u64, value: u64) {
+        assert!(slot < ROOT_SLOT_COUNT, "root slot {slot} out of range");
+        self.pmem.write_u64(SB_ROOT_SLOTS + slot * 8, value);
+        self.pmem.pwb(SB_ROOT_SLOTS + slot * 8);
+        self.pmem.pfence();
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery support (§4.1.3).
+    // ------------------------------------------------------------------
+
+    /// Rebuild the volatile free queue from a completed liveness bitmap:
+    /// every unmarked block in `[data_start, effective_bump)` is zeroed
+    /// (clearing its valid bit so a future allocation starts invalid) and
+    /// queued. Also repairs the persistent bump pointer. Ends with `psync`,
+    /// as the paper's recovery procedure does.
+    ///
+    /// Returns the number of free blocks found.
+    pub fn rebuild_free_queue(&self, live: &LiveBitmap) -> u64 {
+        let persisted_bump = self.bump().min(self.nblocks);
+        let effective_bump = persisted_bump.max(live.highest_marked().map_or(0, |b| b + 1));
+        let mut freed = 0;
+        for idx in self.data_start..effective_bump {
+            if !live.is_marked(idx) {
+                // Ensure a recycled block cannot resurrect as a stale valid
+                // master: persistently clear its header.
+                self.write_header_pwb(idx, BlockHeader::FREE);
+                self.free.push(idx);
+                freed += 1;
+            }
+        }
+        if effective_bump != persisted_bump {
+            self.pmem.write_u64(SB_BUMP, effective_bump);
+            self.pmem.pwb(SB_BUMP);
+        }
+        self.pmem.psync();
+        freed
+    }
+
+    /// Create a liveness bitmap sized for this heap.
+    pub fn new_bitmap(&self) -> LiveBitmap {
+        LiveBitmap::new(self.nblocks)
+    }
+
+    /// Iterate over every block header in `[data_start, bump)`, the
+    /// header-inspection pass used by the fast `nogc` recovery variant
+    /// (§5.3.3, J-PFA-nogc).
+    pub fn for_each_header(&self, mut f: impl FnMut(u64, BlockHeader)) {
+        let bump = self.bump().min(self.nblocks);
+        for idx in self.data_start..bump {
+            f(idx, self.read_header(idx));
+        }
+    }
+}
+
+impl std::fmt::Debug for BlockHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockHeap")
+            .field("block_size", &self.block_size)
+            .field("nblocks", &self.nblocks)
+            .field("data_start", &self.data_start)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jnvm_pmem::{CrashPolicy, PmemConfig};
+
+    fn heap(bytes: u64) -> Arc<BlockHeap> {
+        let pmem = Pmem::new(PmemConfig::crash_sim(bytes));
+        BlockHeap::format(pmem, HeapConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn format_and_open() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let h = BlockHeap::format(Arc::clone(&pmem), HeapConfig::default()).unwrap();
+        assert_eq!(h.block_size(), 256);
+        assert_eq!(h.payload_size(), 248);
+        assert_eq!(h.data_start(), 16); // 4096 / 256
+        drop(h);
+        let h2 = BlockHeap::open(pmem).unwrap();
+        assert_eq!(h2.block_size(), 256);
+        assert_eq!(h2.nblocks(), (1 << 20) / 256);
+    }
+
+    #[test]
+    fn open_rejects_unformatted_pool() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        assert!(BlockHeap::open(pmem).is_err());
+    }
+
+    #[test]
+    fn format_rejects_bad_block_size() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        assert!(BlockHeap::format(Arc::clone(&pmem), HeapConfig { block_size: 100 }).is_err());
+        assert!(BlockHeap::format(pmem, HeapConfig { block_size: 32 }).is_err());
+    }
+
+    #[test]
+    fn alloc_bumps_sequentially() {
+        let h = heap(1 << 20);
+        let a = h.alloc_block().unwrap();
+        let b = h.alloc_block().unwrap();
+        assert_eq!(a, h.data_start());
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn alloc_prefers_free_queue() {
+        let h = heap(1 << 20);
+        let a = h.alloc_block().unwrap();
+        let _b = h.alloc_block().unwrap();
+        h.push_free(a);
+        assert_eq!(h.alloc_block().unwrap(), a);
+    }
+
+    #[test]
+    fn oom_when_exhausted() {
+        let h = heap(8 * 1024); // 32 blocks, 16 reserved
+        let capacity = h.nblocks() - h.data_start();
+        for _ in 0..capacity {
+            h.alloc_block().unwrap();
+        }
+        assert!(matches!(h.alloc_block(), Err(HeapError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn chain_allocation_links_blocks() {
+        let h = heap(1 << 20);
+        // 3 blocks: 248 * 2 + 10 bytes.
+        let master = h.alloc_chain(42, 248 * 2 + 10).unwrap();
+        let chain = h.chain_blocks(master);
+        assert_eq!(chain.len(), 3);
+        let mh = h.read_header(master);
+        assert_eq!(mh.id, 42);
+        assert!(!mh.valid, "fresh master must be invalid");
+        assert_eq!(mh.next, chain[1]);
+        let s1 = h.read_header(chain[1]);
+        assert!(s1.is_free_or_slave());
+        assert_eq!(s1.next, chain[2]);
+        assert_eq!(h.read_header(chain[2]).next, NULL_BLOCK);
+    }
+
+    #[test]
+    fn blocks_for_rounding() {
+        let h = heap(1 << 20);
+        assert_eq!(h.blocks_for(0), 1);
+        assert_eq!(h.blocks_for(1), 1);
+        assert_eq!(h.blocks_for(248), 1);
+        assert_eq!(h.blocks_for(249), 2);
+        assert_eq!(h.blocks_for(248 * 5), 5);
+    }
+
+    #[test]
+    fn free_object_invalidates_and_recycles() {
+        let h = heap(1 << 20);
+        let master = h.alloc_chain(7, 500).unwrap();
+        let chain = h.chain_blocks(master);
+        h.set_valid(master, true);
+        h.free_object(master);
+        assert!(h.read_header(master).is_invalid_master());
+        // All chain blocks are reallocatable.
+        let mut got = Vec::new();
+        for _ in 0..chain.len() {
+            got.push(h.alloc_block().unwrap());
+        }
+        got.sort_unstable();
+        let mut want = chain.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn extend_chain_appends() {
+        let h = heap(1 << 20);
+        let master = h.alloc_chain(7, 100).unwrap();
+        let added = h.extend_chain(master, 2).unwrap();
+        assert_eq!(added.len(), 2);
+        let chain = h.chain_blocks(master);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(&chain[1..], &added[..]);
+    }
+
+    #[test]
+    fn root_slots_persist() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let h = BlockHeap::format(Arc::clone(&pmem), HeapConfig::default()).unwrap();
+        h.set_root_slot(2, 0xabcd);
+        pmem.crash(&CrashPolicy::strict()).unwrap();
+        let h2 = BlockHeap::open(pmem).unwrap();
+        assert_eq!(h2.root_slot(2), 0xabcd);
+        assert_eq!(h2.root_slot(3), 0);
+    }
+
+    #[test]
+    fn set_valid_persists_with_fence() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let h = BlockHeap::format(Arc::clone(&pmem), HeapConfig::default()).unwrap();
+        let m = h.alloc_chain(9, 8).unwrap();
+        h.set_valid(m, true);
+        pmem.pfence();
+        pmem.crash(&CrashPolicy::strict()).unwrap();
+        let h2 = BlockHeap::open(pmem).unwrap();
+        assert!(h2.read_header(m).is_valid_master());
+    }
+
+    #[test]
+    fn rebuild_free_queue_frees_unmarked() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let h = BlockHeap::format(Arc::clone(&pmem), HeapConfig::default()).unwrap();
+        let live = h.alloc_chain(5, 400).unwrap(); // 2 blocks
+        let dead = h.alloc_chain(5, 8).unwrap(); // 1 block
+        h.set_valid(live, true);
+        h.set_valid(dead, true);
+        let mut bm = h.new_bitmap();
+        for b in h.chain_blocks(live) {
+            bm.mark(b);
+        }
+        let freed = h.rebuild_free_queue(&bm);
+        assert_eq!(freed, 1);
+        // The dead block's header is persistently cleared.
+        assert_eq!(h.read_header(dead), BlockHeader::FREE);
+        assert_eq!(h.alloc_block().unwrap(), dead);
+    }
+
+    #[test]
+    fn rebuild_repairs_stale_bump() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let h = BlockHeap::format(Arc::clone(&pmem), HeapConfig::default()).unwrap();
+        let a = h.alloc_chain(5, 8).unwrap();
+        h.set_valid(a, true);
+        // Pretend the bump never persisted: reset it to data_start.
+        pmem.write_u64(super::SB_BUMP, h.data_start());
+        let mut bm = h.new_bitmap();
+        bm.mark(a);
+        h.rebuild_free_queue(&bm);
+        // Allocating must not hand out block `a` again.
+        let b = h.alloc_block().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stats_track_occupancy() {
+        let h = heap(1 << 20);
+        let m = h.alloc_chain(3, 600).unwrap(); // 3 blocks
+        h.free_object(m);
+        let s = h.stats();
+        assert_eq!(s.blocks_allocated, 3);
+        assert_eq!(s.blocks_freed, 3);
+        assert_eq!(s.free_queue_len, 3);
+    }
+}

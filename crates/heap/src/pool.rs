@@ -1,0 +1,378 @@
+//! Memory-pool allocators for small immutable objects (§4.4).
+//!
+//! A whole 256-B block per 20-byte string wastes NVMM to internal
+//! fragmentation. Pool allocators pack several *immutable* objects of the
+//! same size class into one block. (Only immutable objects: the
+//! failure-atomic algorithm of §4.2 copies whole blocks, and two mutable
+//! objects sharing a block would make the in-flight replicas diverge.)
+//!
+//! Layout of a pool block:
+//!
+//! ```text
+//! +0   block header   id = CLASS_ID_POOL, valid = 1, next = 0
+//! +8   meta word      slot payload bytes (u32) | slot count (u32)
+//! +16  slot[0]        mini-header (1 word, same encoding as Table 2,
+//!                     next field unused) followed by the payload
+//! ...  slot[i]        at +16 + i * (8 + payload)
+//! ```
+//!
+//! A pooled object is addressed by the byte address of its mini-header,
+//! which is never block-aligned — that is how the runtime tells pooled
+//! references and block references apart.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+
+use crate::alloc::BlockHeap;
+use crate::error::HeapError;
+use crate::layout::{BlockHeader, CLASS_ID_POOL, HEADER_BYTES};
+use crate::scan::LiveBitmap;
+
+/// Slot payload sizes (bytes) of the pool size classes, ascending.
+pub const POOL_SLOT_CLASSES: &[u64] = &[16, 32, 72, 112, 232];
+
+/// Per-size-class pool allocators over a [`BlockHeap`].
+pub struct PoolManager {
+    heap: Arc<BlockHeap>,
+    /// Payload size per active class (classes that fit the block size).
+    classes: Vec<u64>,
+    /// Volatile free-slot queues, one per class; rebuilt at recovery.
+    queues: Vec<SegQueue<u64>>,
+}
+
+impl PoolManager {
+    /// Create the pool manager for `heap`. Size classes whose slots do not
+    /// fit the heap's block size are dropped.
+    pub fn new(heap: Arc<BlockHeap>) -> PoolManager {
+        let slots_area = heap.payload_size() - 8;
+        let classes: Vec<u64> = POOL_SLOT_CLASSES
+            .iter()
+            .copied()
+            .filter(|payload| payload + HEADER_BYTES <= slots_area)
+            .collect();
+        let queues = classes.iter().map(|_| SegQueue::new()).collect();
+        PoolManager { heap, classes, queues }
+    }
+
+    /// The heap this manager allocates from.
+    pub fn heap(&self) -> &Arc<BlockHeap> {
+        &self.heap
+    }
+
+    /// Largest payload a pooled object may have on this heap.
+    pub fn max_payload(&self) -> u64 {
+        self.classes.last().copied().unwrap_or(0)
+    }
+
+    /// Whether `addr` refers to a pooled object (mini-header address) rather
+    /// than a block object (block-aligned master address).
+    pub fn is_pooled_addr(&self, addr: u64) -> bool {
+        addr % self.heap.block_size() != 0
+    }
+
+    fn class_for(&self, payload: u64) -> Result<usize, HeapError> {
+        self.classes
+            .iter()
+            .position(|c| *c >= payload)
+            .ok_or(HeapError::ObjectTooLargeForPool(payload))
+    }
+
+    fn slot_total(payload: u64) -> u64 {
+        payload + HEADER_BYTES
+    }
+
+    fn slots_per_block(&self, payload: u64) -> u64 {
+        (self.heap.payload_size() - 8) / Self::slot_total(payload)
+    }
+
+    /// Allocate a pooled object of class `class_id` with at least `payload`
+    /// bytes. Returns the mini-header address; the object starts **invalid**
+    /// and un-flushed, like any fresh allocation (§4.1.4).
+    pub fn alloc(&self, class_id: u16, payload: u64) -> Result<u64, HeapError> {
+        let ci = self.class_for(payload)?;
+        if let Some(addr) = self.queues[ci].pop() {
+            self.write_mini(addr, BlockHeader { id: class_id, valid: false, next: 0 });
+            return Ok(addr);
+        }
+        // Carve a new pool block.
+        let slot_payload = self.classes[ci];
+        let block = self.heap.alloc_block()?;
+        let base = self.heap.block_addr(block);
+        let pmem = self.heap.pmem();
+        let nslots = self.slots_per_block(slot_payload);
+        self.heap.write_header(
+            block,
+            BlockHeader { id: CLASS_ID_POOL, valid: true, next: 0 },
+        );
+        pmem.write_u32(base + 8, slot_payload as u32);
+        pmem.write_u32(base + 12, nslots as u32);
+        // The header/meta line must be durable before any slot inside this
+        // block is validated; pwb now, the allocating thread's next pfence
+        // (always executed before an object becomes reachable) orders it.
+        pmem.pwb(base);
+        let first = base + 16;
+        for i in 1..nslots {
+            // Remaining slots join the free queue with a cleared mini-header.
+            let slot = first + i * Self::slot_total(slot_payload);
+            pmem.write_u64(slot, 0);
+            self.queues[ci].push(slot);
+        }
+        self.write_mini(first, BlockHeader { id: class_id, valid: false, next: 0 });
+        Ok(first)
+    }
+
+    /// Free a pooled object: persistently invalidate its mini-header (no
+    /// fence, like [`BlockHeap::free_object`]) and recycle the slot.
+    pub fn free(&self, addr: u64) {
+        let (ci, _) = self.locate(addr);
+        let mut mh = self.read_mini(addr);
+        mh.valid = false;
+        self.write_mini_pwb(addr, mh);
+        self.queues[ci].push(addr);
+    }
+
+    /// Read the mini-header of the pooled object at `addr`.
+    pub fn read_mini(&self, addr: u64) -> BlockHeader {
+        BlockHeader::decode(self.heap.pmem().read_u64(addr))
+    }
+
+    fn write_mini(&self, addr: u64, h: BlockHeader) {
+        self.heap.pmem().write_u64(addr, h.encode());
+    }
+
+    fn write_mini_pwb(&self, addr: u64, h: BlockHeader) {
+        self.write_mini(addr, h);
+        self.heap.pmem().pwb(addr);
+    }
+
+    /// Set the validity of a pooled object and `pwb` its line (fence-free,
+    /// as with [`BlockHeap::set_valid`]).
+    pub fn set_valid(&self, addr: u64, valid: bool) {
+        let mut h = self.read_mini(addr);
+        h.valid = valid;
+        self.write_mini_pwb(addr, h);
+    }
+
+    /// Payload address of the pooled object at `addr`.
+    pub fn payload_addr(&self, addr: u64) -> u64 {
+        addr + HEADER_BYTES
+    }
+
+    /// Slot payload capacity of the pooled object at `addr` (from the pool
+    /// block's meta word).
+    pub fn slot_payload(&self, addr: u64) -> u64 {
+        let block = self.heap.block_of_addr(addr);
+        self.heap.pmem().read_u32(self.heap.block_addr(block) + 8) as u64
+    }
+
+    /// Locate `(size class index, slot index)` for a pooled address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not lie on a slot boundary of a pool block —
+    /// that indicates heap corruption or a non-pooled address.
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let block = self.heap.block_of_addr(addr);
+        let base = self.heap.block_addr(block);
+        let payload = self.heap.pmem().read_u32(base + 8) as u64;
+        let ci = self
+            .classes
+            .iter()
+            .position(|c| *c == payload)
+            .unwrap_or_else(|| panic!("pool block {block} has unknown class {payload}"));
+        let off = addr - (base + 16);
+        assert!(
+            off % Self::slot_total(payload) == 0,
+            "address {addr:#x} is not on a slot boundary"
+        );
+        (ci, off / Self::slot_total(payload))
+    }
+
+    /// Recovery (§4.1.3 extension for pools): for every *marked* pool block,
+    /// keep slots in `live_slots`, persistently clear the rest and rebuild
+    /// the free-slot queues. Unmarked pool blocks are reclaimed wholesale by
+    /// [`BlockHeap::rebuild_free_queue`]. Call this *before* that.
+    pub fn rebuild(&self, bitmap: &LiveBitmap, live_slots: &HashSet<u64>) {
+        let pmem = self.heap.pmem();
+        self.heap.for_each_header(|idx, h| {
+            if h.id != CLASS_ID_POOL || !bitmap.is_marked(idx) {
+                return;
+            }
+            let base = self.heap.block_addr(idx);
+            let payload = pmem.read_u32(base + 8) as u64;
+            let Some(ci) = self.classes.iter().position(|c| *c == payload) else {
+                return;
+            };
+            let nslots = pmem.read_u32(base + 12) as u64;
+            for i in 0..nslots {
+                let slot = base + 16 + i * Self::slot_total(payload);
+                if live_slots.contains(&slot) {
+                    continue;
+                }
+                if pmem.read_u64(slot) != 0 {
+                    pmem.write_u64(slot, 0);
+                    pmem.pwb(slot);
+                }
+                self.queues[ci].push(slot);
+            }
+        });
+    }
+
+    /// Iterate the slots of the pool block `idx`, yielding each slot's
+    /// mini-header address and decoded mini-header. Used by the header-scan
+    /// recovery variant. No-op if `idx` is not a recognizable pool block.
+    pub fn scan_block_slots(&self, idx: u64, mut f: impl FnMut(u64, BlockHeader)) {
+        let base = self.heap.block_addr(idx);
+        let pmem = self.heap.pmem();
+        let payload = pmem.read_u32(base + 8) as u64;
+        if !self.classes.contains(&payload) {
+            return;
+        }
+        let nslots = pmem.read_u32(base + 12) as u64;
+        let max_slots = (self.heap.payload_size() - 8) / Self::slot_total(payload);
+        for i in 0..nslots.min(max_slots) {
+            let slot = base + 16 + i * Self::slot_total(payload);
+            f(slot, BlockHeader::decode(pmem.read_u64(slot)));
+        }
+    }
+
+    /// Number of free slots currently queued (all classes).
+    pub fn free_slots(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
+    }
+}
+
+impl std::fmt::Debug for PoolManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolManager")
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::HeapConfig;
+    use jnvm_pmem::{Pmem, PmemConfig};
+
+    fn mk() -> (Arc<BlockHeap>, PoolManager) {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let heap = BlockHeap::format(pmem, HeapConfig::default()).unwrap();
+        let pm = PoolManager::new(Arc::clone(&heap));
+        (heap, pm)
+    }
+
+    #[test]
+    fn classes_fit_block() {
+        let (_h, pm) = mk();
+        assert_eq!(pm.max_payload(), 232);
+    }
+
+    #[test]
+    fn alloc_packs_many_objects_per_block() {
+        let (heap, pm) = mk();
+        let before = heap.stats().blocks_allocated;
+        // 16-byte payloads: slot total 24, (248-8)/24 = 10 per block.
+        let addrs: Vec<u64> = (0..10).map(|_| pm.alloc(20, 10).unwrap()).collect();
+        assert_eq!(heap.stats().blocks_allocated - before, 1);
+        let blocks: HashSet<u64> = addrs.iter().map(|a| heap.block_of_addr(*a)).collect();
+        assert_eq!(blocks.len(), 1);
+        // 11th allocation opens a second block.
+        pm.alloc(20, 10).unwrap();
+        assert_eq!(heap.stats().blocks_allocated - before, 2);
+    }
+
+    #[test]
+    fn pooled_addresses_are_not_block_aligned() {
+        let (_h, pm) = mk();
+        let a = pm.alloc(20, 30).unwrap();
+        assert!(pm.is_pooled_addr(a));
+    }
+
+    #[test]
+    fn free_recycles_slot() {
+        let (_h, pm) = mk();
+        let a = pm.alloc(20, 16).unwrap();
+        pm.set_valid(a, true);
+        pm.free(a);
+        assert!(!pm.read_mini(a).valid);
+        // Freed slot is preferred over the block's remaining fresh slots?
+        // Not guaranteed (queue order), but the slot must eventually return.
+        let mut seen = false;
+        for _ in 0..20 {
+            if pm.alloc(20, 16).unwrap() == a {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "freed slot was never reallocated");
+    }
+
+    #[test]
+    fn size_class_selection() {
+        let (_h, pm) = mk();
+        let a = pm.alloc(7, 16).unwrap();
+        let b = pm.alloc(7, 17).unwrap();
+        assert_eq!(pm.slot_payload(a), 16);
+        assert_eq!(pm.slot_payload(b), 32);
+        assert!(matches!(
+            pm.alloc(7, 233),
+            Err(HeapError::ObjectTooLargeForPool(233))
+        ));
+    }
+
+    #[test]
+    fn mini_header_carries_class() {
+        let (_h, pm) = mk();
+        let a = pm.alloc(321, 60).unwrap();
+        let mh = pm.read_mini(a);
+        assert_eq!(mh.id, 321);
+        assert!(!mh.valid, "fresh pooled object must be invalid");
+        pm.set_valid(a, true);
+        assert!(pm.read_mini(a).valid);
+    }
+
+    #[test]
+    fn rebuild_keeps_live_frees_dead() {
+        let (heap, pm) = mk();
+        let live = pm.alloc(9, 16).unwrap();
+        let dead = pm.alloc(9, 16).unwrap();
+        pm.set_valid(live, true);
+        pm.set_valid(dead, true);
+        heap.pmem().pfence();
+
+        // Simulate restart: new manager with empty queues.
+        let pm2 = PoolManager::new(Arc::clone(&heap));
+        let mut bm = heap.new_bitmap();
+        bm.mark(heap.block_of_addr(live));
+        let mut live_slots = HashSet::new();
+        live_slots.insert(live);
+        pm2.rebuild(&bm, &live_slots);
+
+        assert!(pm2.read_mini(live).valid);
+        assert_eq!(heap.pmem().read_u64(dead), 0, "dead slot cleared");
+        // 10 slots per block, one live -> 9 free.
+        assert_eq!(pm2.free_slots(), 9);
+    }
+
+    #[test]
+    fn pool_block_header_is_flushed_with_first_fence() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let heap = BlockHeap::format(Arc::clone(&pmem), HeapConfig::default()).unwrap();
+        let pm = PoolManager::new(Arc::clone(&heap));
+        let a = pm.alloc(9, 16).unwrap();
+        pm.set_valid(a, true);
+        pmem.pfence();
+        pmem.crash(&jnvm_pmem::CrashPolicy::strict()).unwrap();
+        let heap2 = BlockHeap::open(Arc::clone(&pmem)).unwrap();
+        let h = heap2.read_header(heap2.block_of_addr(a));
+        assert_eq!(h.id, CLASS_ID_POOL);
+        assert!(h.valid);
+        let pm2 = PoolManager::new(heap2);
+        assert!(pm2.read_mini(a).valid);
+        assert_eq!(pm2.read_mini(a).id, 9);
+    }
+}

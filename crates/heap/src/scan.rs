@@ -1,0 +1,98 @@
+//! The volatile liveness bitmap used by the recovery procedure (§4.1.3).
+
+/// One bit per block; built during the recovery traversal, consumed by
+/// [`crate::BlockHeap::rebuild_free_queue`].
+#[derive(Debug)]
+pub struct LiveBitmap {
+    bits: Vec<u64>,
+    nblocks: u64,
+    highest: Option<u64>,
+    marked: u64,
+}
+
+impl LiveBitmap {
+    /// Create an all-clear bitmap covering `nblocks` blocks.
+    pub fn new(nblocks: u64) -> LiveBitmap {
+        LiveBitmap {
+            bits: vec![0; nblocks.div_ceil(64) as usize],
+            nblocks,
+            highest: None,
+            marked: 0,
+        }
+    }
+
+    /// Mark block `idx` live. Returns `true` if it was not marked before.
+    pub fn mark(&mut self, idx: u64) -> bool {
+        assert!(idx < self.nblocks, "block {idx} out of bitmap range");
+        let (w, b) = ((idx / 64) as usize, idx % 64);
+        let fresh = self.bits[w] & (1 << b) == 0;
+        if fresh {
+            self.bits[w] |= 1 << b;
+            self.marked += 1;
+            self.highest = Some(self.highest.map_or(idx, |h| h.max(idx)));
+        }
+        fresh
+    }
+
+    /// Whether block `idx` is marked.
+    pub fn is_marked(&self, idx: u64) -> bool {
+        assert!(idx < self.nblocks, "block {idx} out of bitmap range");
+        self.bits[(idx / 64) as usize] & (1 << (idx % 64)) != 0
+    }
+
+    /// Highest marked block index, if any block is marked.
+    pub fn highest_marked(&self) -> Option<u64> {
+        self.highest
+    }
+
+    /// Number of marked blocks.
+    pub fn marked_count(&self) -> u64 {
+        self.marked
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> u64 {
+        self.nblocks
+    }
+
+    /// True when the bitmap covers zero blocks.
+    pub fn is_empty(&self) -> bool {
+        self.nblocks == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query() {
+        let mut bm = LiveBitmap::new(200);
+        assert!(!bm.is_marked(0));
+        assert!(bm.mark(0));
+        assert!(!bm.mark(0), "second mark reports already-marked");
+        assert!(bm.mark(63));
+        assert!(bm.mark(64));
+        assert!(bm.mark(199));
+        assert!(bm.is_marked(63));
+        assert!(bm.is_marked(64));
+        assert!(bm.is_marked(199));
+        assert!(!bm.is_marked(100));
+        assert_eq!(bm.marked_count(), 4);
+        assert_eq!(bm.highest_marked(), Some(199));
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = LiveBitmap::new(10);
+        assert_eq!(bm.highest_marked(), None);
+        assert_eq!(bm.marked_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bitmap range")]
+    fn out_of_range_panics() {
+        let mut bm = LiveBitmap::new(10);
+        bm.mark(10);
+    }
+}

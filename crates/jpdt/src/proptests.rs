@@ -1,0 +1,139 @@
+//! Property tests: persistent maps against a volatile reference model,
+//! across crashes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use jnvm::{Jnvm, JnvmBuilder, PObject};
+use jnvm_heap::HeapConfig;
+use jnvm_pmem::{CrashPolicy, Pmem, PmemConfig};
+
+use crate::{register_jpdt, PBytes, PRefVec, PStringHashMap};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Put(u8, Vec<u8>),
+    Remove(u8),
+    Get(u8),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40))
+                .prop_map(|(k, v)| MapOp::Put(k, v)),
+            any::<u8>().prop_map(MapOp::Remove),
+            any::<u8>().prop_map(MapOp::Get),
+        ],
+        1..60,
+    )
+}
+
+fn fresh() -> (Arc<Pmem>, Jnvm) {
+    let pmem = Pmem::new(PmemConfig::crash_sim(32 << 20));
+    let rt = register_jpdt(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .unwrap();
+    (pmem, rt)
+}
+
+fn blob_of(rt: &Jnvm, addr: u64) -> Vec<u8> {
+    PBytes::resurrect(rt, addr).to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The persistent hash map agrees with `std::HashMap` on arbitrary
+    /// op sequences, and still agrees after an adversarial crash.
+    #[test]
+    fn phashmap_matches_model_across_crash(ops in map_ops(), seed in any::<u64>()) {
+        let (pmem, rt) = fresh();
+        let map = PStringHashMap::new(&rt).unwrap();
+        rt.root_put("m", &map).unwrap();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                MapOp::Put(k, v) => {
+                    let key = format!("k{k}");
+                    let blob = PBytes::new(&rt, v).unwrap();
+                    if let Some(old) = map.put(key.clone(), blob.addr()).unwrap() {
+                        rt.free_addr(old);
+                    }
+                    model.insert(key, v.clone());
+                }
+                MapOp::Remove(k) => {
+                    let key = format!("k{k}");
+                    let got = map.remove(&key);
+                    let want = model.remove(&key);
+                    prop_assert_eq!(got.is_some(), want.is_some());
+                    if let Some(addr) = got {
+                        prop_assert_eq!(blob_of(&rt, addr), want.unwrap());
+                        rt.free_addr(addr);
+                        rt.pfence();
+                    }
+                }
+                MapOp::Get(k) => {
+                    let key = format!("k{k}");
+                    let got = map.get(&key).map(|a| blob_of(&rt, a));
+                    prop_assert_eq!(got.as_ref(), model.get(&key));
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+        // Crash and compare the recovered map against the model.
+        pmem.crash(&CrashPolicy { evict_probability: 0.5, seed }).unwrap();
+        let (rt2, _) = register_jpdt(JnvmBuilder::new()).open(Arc::clone(&pmem)).unwrap();
+        let map2 = rt2.root_get_as::<PStringHashMap>("m").unwrap().unwrap();
+        prop_assert_eq!(map2.len(), model.len());
+        for (k, v) in &model {
+            let addr = map2.get(k);
+            prop_assert!(addr.is_some(), "{} lost", k);
+            prop_assert_eq!(&blob_of(&rt2, addr.unwrap()), v);
+        }
+    }
+
+    /// PRefVec push/pop agrees with a Vec model across a strict crash.
+    #[test]
+    fn prefvec_matches_model(pushes in 1usize..50, pops in 0usize..60) {
+        let (pmem, rt) = fresh();
+        let vec = PRefVec::new(&rt, 2).unwrap();
+        rt.root_put("v", &vec).unwrap();
+        let mut model: Vec<Vec<u8>> = Vec::new();
+        for i in 0..pushes {
+            let content = vec![i as u8; i % 30 + 1];
+            let blob = PBytes::new(&rt, &content).unwrap();
+            vec.push(blob.addr()).unwrap();
+            model.push(content);
+        }
+        for _ in 0..pops.min(pushes) {
+            let got = vec.pop();
+            let want = model.pop();
+            prop_assert_eq!(got.is_some(), want.is_some());
+            if let Some(a) = got {
+                prop_assert_eq!(blob_of(&rt, a), want.unwrap());
+                rt.free_addr(a);
+            }
+        }
+        rt.pfence();
+        pmem.crash(&CrashPolicy::strict()).unwrap();
+        let (rt2, _) = register_jpdt(JnvmBuilder::new()).open(Arc::clone(&pmem)).unwrap();
+        let vec2 = rt2.root_get_as::<PRefVec>("v").unwrap().unwrap();
+        prop_assert_eq!(vec2.len() as usize, model.len());
+        for (i, want) in model.iter().enumerate() {
+            let a = vec2.get(i as u64).unwrap();
+            prop_assert_eq!(&blob_of(&rt2, a), want);
+        }
+    }
+
+    /// Blobs of any content and size round-trip, pooled or chained.
+    #[test]
+    fn blob_round_trip(content in proptest::collection::vec(any::<u8>(), 0..2000)) {
+        let (_p, rt) = fresh();
+        let b = PBytes::new(&rt, &content).unwrap();
+        prop_assert_eq!(b.len() as usize, content.len());
+        prop_assert_eq!(b.to_vec(), content);
+    }
+}

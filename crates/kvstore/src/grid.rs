@@ -1,0 +1,357 @@
+//! The embedded data grid: sharded LRU cache + write-through backend +
+//! per-key lock striping (Infinispan embedded mode, §5.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::Backend;
+use crate::codec::Record;
+use crate::lru::ShardedLru;
+
+/// Grid configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GridConfig {
+    /// Volatile cache capacity in records (the paper caches ≤ 10 % of the
+    /// dataset; J-NVM backends run with 0 — caching brings them nothing,
+    /// §5.3.1).
+    pub cache_capacity: usize,
+    /// Cache shards.
+    pub cache_shards: usize,
+    /// Per-key lock stripes.
+    pub lock_stripes: usize,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            cache_capacity: 0,
+            cache_shards: 64,
+            lock_stripes: 256,
+        }
+    }
+}
+
+/// Grid-level counters.
+#[derive(Debug, Default)]
+pub struct GridMetrics {
+    /// Cache hits.
+    pub hits: AtomicU64,
+    /// Cache misses.
+    pub misses: AtomicU64,
+    /// Read operations.
+    pub reads: AtomicU64,
+    /// Write operations (insert + update).
+    pub writes: AtomicU64,
+}
+
+/// An embedded data grid over a persistence [`Backend`].
+pub struct DataGrid {
+    backend: Arc<dyn Backend>,
+    cache: ShardedLru<String, Record>,
+    cache_enabled: bool,
+    locks: Vec<Mutex<()>>,
+    metrics: GridMetrics,
+}
+
+impl DataGrid {
+    /// Build a grid over `backend`.
+    pub fn new(backend: Arc<dyn Backend>, cfg: GridConfig) -> DataGrid {
+        DataGrid {
+            backend,
+            cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards.max(1)),
+            cache_enabled: cfg.cache_capacity > 0,
+            locks: (0..cfg.lock_stripes.max(1)).map(|_| Mutex::new(())).collect(),
+            metrics: GridMetrics::default(),
+        }
+    }
+
+    fn stripe(&self, key: &str) -> &Mutex<()> {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in key.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        &self.locks[(h as usize) % self.locks.len()]
+    }
+
+    /// The backing store.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// Grid counters.
+    pub fn metrics(&self) -> &GridMetrics {
+        &self.metrics
+    }
+
+    /// Records in the backend.
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// True when the backend holds no record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert (or replace) a record, write-through.
+    pub fn insert(&self, rec: &Record) -> bool {
+        let _g = self.stripe(&rec.key).lock();
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        let ok = self.backend.store_full(rec);
+        if ok && self.cache_enabled {
+            self.cache.insert(rec.key.clone(), rec.clone());
+        }
+        ok
+    }
+
+    /// Read a record: volatile cache first, then the backend.
+    pub fn read(&self, key: &str) -> Option<Record> {
+        let _g = self.stripe(key).lock();
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        if self.cache_enabled {
+            if let Some(rec) = self.cache.get(&key.to_string()) {
+                self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(rec);
+            }
+        }
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        let rec = self.backend.read(key)?;
+        if self.cache_enabled {
+            self.cache.insert(key.to_string(), rec.clone());
+        }
+        Some(rec)
+    }
+
+    /// Serve a read without forcing full materialization when the backend
+    /// supports it (J-NVM designs hand out persistent values; §5.2).
+    /// Cache hits still return materialized records.
+    pub fn read_touch(&self, key: &str) -> bool {
+        let _g = self.stripe(key).lock();
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        if self.cache_enabled {
+            if self.cache.get(&key.to_string()).is_some() {
+                self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        if self.backend.prefers_field_updates() {
+            // J-NVM path: proxy touch.
+            self.backend.read_touch(key)
+        } else {
+            let rec = self.backend.read(key);
+            if let Some(rec) = rec {
+                if self.cache_enabled {
+                    self.cache.insert(key.to_string(), rec);
+                }
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Update one positional field, write-through.
+    ///
+    /// J-NVM-style backends take the in-place path; external-design
+    /// backends do read-modify-write with whole-record marshalling (which
+    /// is exactly the asymmetry Figure 7 measures).
+    pub fn update_field(&self, key: &str, field: usize, value: &[u8]) -> bool {
+        let _g = self.stripe(key).lock();
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
+        let ok = if self.backend.prefers_field_updates() {
+            self.backend.update_field(key, field, value)
+        } else {
+            let rec = if self.cache_enabled {
+                self.cache.get(&key.to_string())
+            } else {
+                None
+            };
+            let rec = rec.or_else(|| self.backend.read(key));
+            let mut rec = match rec {
+                Some(r) => r,
+                None if self.backend.is_black_hole() => {
+                    // The black hole stores nothing, but the write-through
+                    // path still marshals a full record (Figure 8's point).
+                    Record::ycsb(key, &vec![value.to_vec(); 10])
+                }
+                None => return false,
+            };
+            if field >= rec.fields.len() {
+                return false;
+            }
+            rec.fields[field].1 = value.to_vec();
+            self.backend.store_full(&rec)
+        };
+        if ok && self.cache_enabled {
+            // Keep the cached copy coherent (write-through).
+            if let Some(mut rec) = self.cache.get(&key.to_string()) {
+                if field < rec.fields.len() {
+                    rec.fields[field].1 = value.to_vec();
+                    self.cache.insert(key.to_string(), rec);
+                }
+            }
+        }
+        ok
+    }
+
+    /// Read-modify-write: read the record (through proxies for J-NVM
+    /// backends, materialized otherwise), then update one field.
+    pub fn rmw(&self, key: &str, field: usize, value: &[u8]) -> bool {
+        // Single-key RMW under the stripe lock.
+        let read_ok = self.read_touch(key);
+        read_ok && self.update_field(key, field, value)
+    }
+
+    /// Remove a record.
+    pub fn remove(&self, key: &str) -> bool {
+        let _g = self.stripe(key).lock();
+        if self.cache_enabled {
+            self.cache.remove(&key.to_string());
+        }
+        self.backend.remove(key)
+    }
+
+    /// Cache hit ratio since start.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.metrics.hits.load(Ordering::Relaxed) as f64;
+        let m = self.metrics.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::VolatileBackend;
+    use crate::simfs::FsBackend;
+    use crate::CostModel;
+    use jnvm_pmem::{Pmem, PmemConfig};
+
+    fn volatile_grid(cache: usize) -> DataGrid {
+        DataGrid::new(
+            Arc::new(VolatileBackend::new()),
+            GridConfig {
+                cache_capacity: cache,
+                ..GridConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn insert_read_update_remove() {
+        let g = volatile_grid(10);
+        let rec = Record::ycsb("k", &[b"a".to_vec(), b"b".to_vec()]);
+        assert!(g.insert(&rec));
+        assert_eq!(g.read("k").unwrap(), rec);
+        assert!(g.update_field("k", 1, b"B"));
+        assert_eq!(g.read("k").unwrap().fields[1].1, b"B");
+        assert!(g.rmw("k", 0, b"A"));
+        assert_eq!(g.read("k").unwrap().fields[0].1, b"A");
+        assert!(g.remove("k"));
+        assert!(g.read("k").is_none());
+    }
+
+    #[test]
+    fn cache_serves_hits() {
+        let g = volatile_grid(10);
+        let rec = Record::ycsb("k", &[b"v".to_vec()]);
+        g.insert(&rec);
+        g.read("k");
+        g.read("k");
+        assert!(g.metrics().hits.load(Ordering::Relaxed) >= 2);
+        assert!(g.hit_ratio() > 0.5);
+    }
+
+    #[test]
+    fn cache_stays_coherent_after_update() {
+        let g = volatile_grid(10);
+        let rec = Record::ycsb("k", &[b"old".to_vec()]);
+        g.insert(&rec);
+        g.read("k"); // cached
+        g.update_field("k", 0, b"new");
+        assert_eq!(g.read("k").unwrap().fields[0].1, b"new");
+    }
+
+    #[test]
+    fn rmw_on_external_backend_marshal_path() {
+        let pmem = Pmem::new(PmemConfig::perf(8 << 20));
+        let be = Arc::new(FsBackend::new(pmem, 4096, CostModel::free()));
+        let g = DataGrid::new(
+            be,
+            GridConfig {
+                cache_capacity: 4,
+                ..GridConfig::default()
+            },
+        );
+        let rec = Record::ycsb("k", &[b"x".to_vec(), b"y".to_vec()]);
+        g.insert(&rec);
+        assert!(g.update_field("k", 0, b"X"));
+        assert_eq!(g.read("k").unwrap().fields[0].1, b"X");
+        assert!(!g.update_field("absent", 0, b"X"));
+    }
+
+    #[test]
+    fn cache_disabled_always_misses() {
+        let g = volatile_grid(0);
+        let rec = Record::ycsb("k", &[b"v".to_vec()]);
+        g.insert(&rec);
+        g.read("k");
+        g.read("k");
+        assert_eq!(g.metrics().hits.load(Ordering::Relaxed), 0);
+        assert_eq!(g.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_rmw_preserves_per_key_atomicity() {
+        let g = Arc::new(volatile_grid(0));
+        g.insert(&Record::ycsb("k", &[0u64.to_le_bytes().to_vec()]));
+        // 8 threads × 100 increments through rmw-like cycles under the
+        // grid; the stripe lock serializes per key.
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        loop {
+                            let cur = g.read("k").unwrap();
+                            let v = u64::from_le_bytes(cur.fields[0].1[..8].try_into().unwrap());
+                            // CAS-like: reinsert only if unchanged (the
+                            // VolatileBackend's update is atomic per call).
+                            if g.update_field_cas("k", v, v + 1) {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let v = u64::from_le_bytes(g.read("k").unwrap().fields[0].1[..8].try_into().unwrap());
+        assert_eq!(v, 800);
+    }
+
+    impl DataGrid {
+        /// Test helper: compare-and-set the first field as a u64 counter.
+        fn update_field_cas(&self, key: &str, expect: u64, new: u64) -> bool {
+            let _g = self.stripe(key).lock();
+            let Some(rec) = self.backend.read(key) else {
+                return false;
+            };
+            let cur = u64::from_le_bytes(rec.fields[0].1[..8].try_into().unwrap());
+            if cur != expect {
+                return false;
+            }
+            self.backend
+                .update_field(key, 0, &new.to_le_bytes())
+        }
+    }
+}

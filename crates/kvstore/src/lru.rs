@@ -1,0 +1,351 @@
+//! An LRU cache (intrusive doubly-linked list over a slab) and its sharded
+//! concurrent wrapper — the grid's volatile cache, standing in for
+//! Infinispan's bounded data container.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A classic O(1) LRU cache.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Get and touch (promote to most recently used).
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&self.nodes[idx].value)
+    }
+
+    /// Peek without touching.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|i| &self.nodes[*i].value)
+    }
+
+    /// Insert or replace, touching the entry. Returns the evicted
+    /// `(key, value)` if the cache was full.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let node = &mut self.nodes[victim];
+            self.map.remove(&node.key);
+            // Move out by swapping with the incoming entry.
+            let old_key = std::mem::replace(&mut node.key, key.clone());
+            let old_val = std::mem::replace(&mut node.value, value);
+            evicted = Some((old_key, old_val));
+            self.map.insert(key, victim);
+            self.push_front(victim);
+            return evicted;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.map.remove(key) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// A sharded, lock-per-shard LRU for concurrent use.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// Build with `shards` shards and a *total* capacity. A non-zero total
+    /// guarantees at least one entry per shard.
+    pub fn new(total_capacity: usize, shards: usize) -> ShardedLru<K, V> {
+        let shards = shards.max(1);
+        let per = if total_capacity == 0 {
+            0
+        } else {
+            (total_capacity / shards).max(1)
+        };
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(LruCache::new(per))).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Get (clones the value) and touch.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().get(key).cloned()
+    }
+
+    /// Insert/replace.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().insert(key, value);
+    }
+
+    /// Remove.
+    pub fn remove(&self, key: &K) -> bool {
+        self.shard(key).lock().remove(key)
+    }
+
+    /// Total cached entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_touch_order() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert("a", 1).is_none());
+        assert!(c.insert("b", 2).is_none());
+        // Touch "a" so "b" becomes LRU.
+        assert_eq!(c.get(&"a"), Some(&1));
+        let evicted = c.insert("c", 3).expect("evicts LRU");
+        assert_eq!(evicted, ("b", 2));
+        assert_eq!(c.peek(&"a"), Some(&1));
+        assert_eq!(c.peek(&"b"), None);
+        assert_eq!(c.peek(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert!(c.insert("a", 10).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn remove_and_reuse() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "x");
+        c.insert(2, "y");
+        assert!(c.remove(&1));
+        assert!(!c.remove(&1));
+        assert_eq!(c.len(), 1);
+        c.insert(3, "z");
+        c.insert(4, "w");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.peek(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        assert!(c.insert("a", 1).is_none());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.get(&"a"), None);
+    }
+
+    #[test]
+    fn eviction_order_is_lru_not_fifo() {
+        let mut c = LruCache::new(3);
+        for (k, v) in [(1, 1), (2, 2), (3, 3)] {
+            c.insert(k, v);
+        }
+        c.get(&1);
+        c.get(&2);
+        // 3 is now LRU.
+        c.insert(4, 4);
+        assert_eq!(c.peek(&3), None);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn sharded_concurrent_smoke() {
+        // Capacity comfortably above the 4000 distinct keys inserted so no
+        // shard can evict a just-inserted entry mid-assertion.
+        let c = std::sync::Arc::new(ShardedLru::new(64_000, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.insert(format!("k{t}-{i}"), i);
+                        assert_eq!(c.get(&format!("k{t}-{i}")), Some(i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(c.len() <= c.capacity());
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut c = LruCache::new(16);
+        // Model: vector ordered by recency.
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        for _ in 0..10_000 {
+            let k = rng.random_range(0..40u32);
+            match rng.random_range(0..3u8) {
+                0 => {
+                    let v = rng.random::<u32>();
+                    c.insert(k, v);
+                    model.retain(|(mk, _)| *mk != k);
+                    model.insert(0, (k, v));
+                    if model.len() > 16 {
+                        model.pop();
+                    }
+                }
+                1 => {
+                    let got = c.get(&k).copied();
+                    let want = model.iter().find(|(mk, _)| *mk == k).map(|(_, v)| *v);
+                    assert_eq!(got, want);
+                    if let Some(v) = want {
+                        model.retain(|(mk, _)| *mk != k);
+                        model.insert(0, (k, v));
+                    }
+                }
+                _ => {
+                    let got = c.remove(&k);
+                    let want = model.iter().any(|(mk, _)| *mk == k);
+                    assert_eq!(got, want);
+                    model.retain(|(mk, _)| *mk != k);
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,909 @@
+//! The simulated NVMM device.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::{CrashPolicy, LatencyProfile, PmemConfig, SimMode};
+use crate::error::PmemError;
+use crate::latency::spin_ns;
+use crate::stats::{PmemStats, StatsSnapshot};
+
+/// Size of a simulated CPU cache line in bytes.
+pub const CACHE_LINE: u64 = 64;
+
+const WORDS_PER_LINE: usize = (CACHE_LINE / 8) as usize;
+
+/// Per-line persistence state (CrashSim mode).
+const LINE_CLEAN: u8 = 0;
+const LINE_DIRTY: u8 = 1;
+const LINE_PENDING: u8 = 2;
+
+/// State owned only by [`SimMode::CrashSim`] devices.
+struct CrashSim {
+    /// The persistent media: survives [`Pmem::crash`].
+    media: Box<[AtomicU64]>,
+    /// Per-line state: clean / dirty / pending (in the write-pending queue).
+    line_state: Box<[AtomicU8]>,
+    /// Write-pending queue: lines `pwb`ed but not yet fenced.
+    wpq: SegQueue<u64>,
+    /// Serializes crash/drain against each other.
+    crash_lock: Mutex<()>,
+}
+
+/// A simulated byte-addressable non-volatile memory pool.
+///
+/// Thread safety: the word array is atomic, so concurrent access is memory
+/// safe. Like real NVMM, the device provides no synchronization between
+/// racing accesses to the *same* object — callers (the heap, the data grid)
+/// bring their own locking, exactly as Infinispan does in the paper.
+pub struct Pmem {
+    size: u64,
+    words: Box<[AtomicU64]>,
+    sim: Option<CrashSim>,
+    latency: LatencyProfile,
+    latency_on: bool,
+    stats: PmemStats,
+}
+
+fn zeroed_words(n: usize) -> Box<[AtomicU64]> {
+    let mut v = Vec::with_capacity(n);
+    v.resize_with(n, || AtomicU64::new(0));
+    v.into_boxed_slice()
+}
+
+impl Pmem {
+    /// Create a pool per `cfg`. The size is rounded up to a whole number of
+    /// cache lines; contents start zeroed (persistently so).
+    pub fn new(cfg: PmemConfig) -> Arc<Pmem> {
+        let size = cfg.size.div_ceil(CACHE_LINE) * CACHE_LINE;
+        let nwords = (size / 8) as usize;
+        let nlines = (size / CACHE_LINE) as usize;
+        let sim = match cfg.mode {
+            SimMode::Performance => None,
+            SimMode::CrashSim => {
+                let mut states = Vec::with_capacity(nlines);
+                states.resize_with(nlines, || AtomicU8::new(LINE_CLEAN));
+                Some(CrashSim {
+                    media: zeroed_words(nwords),
+                    line_state: states.into_boxed_slice(),
+                    wpq: SegQueue::new(),
+                    crash_lock: Mutex::new(()),
+                })
+            }
+        };
+        Arc::new(Pmem {
+            size,
+            words: zeroed_words(nwords),
+            sim,
+            latency_on: !cfg.latency.is_off(),
+            latency: cfg.latency,
+            stats: PmemStats::default(),
+        })
+    }
+
+    /// Pool size in bytes.
+    pub fn len(&self) -> u64 {
+        self.size
+    }
+
+    /// True only for a zero-sized pool.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Whether crash simulation is available.
+    pub fn crash_sim_enabled(&self) -> bool {
+        self.sim.is_some()
+    }
+
+    /// The device operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset the operation counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset()
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, len: u64) {
+        if addr.checked_add(len).map_or(true, |end| end > self.size) {
+            panic!(
+                "pmem access out of bounds: addr={addr:#x} len={len} size={}",
+                self.size
+            );
+        }
+    }
+
+    #[inline]
+    fn lines_touched(addr: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        (addr + len - 1) / CACHE_LINE - addr / CACHE_LINE + 1
+    }
+
+    #[inline]
+    fn charge_read(&self, addr: u64, len: u64) {
+        self.stats.record_read(len);
+        if self.latency_on {
+            spin_ns(self.latency.read_line_ns * Self::lines_touched(addr, len));
+        }
+    }
+
+    #[inline]
+    fn charge_write(&self, addr: u64, len: u64) {
+        self.stats.record_write(len);
+        if self.latency_on {
+            spin_ns(self.latency.write_line_ns * Self::lines_touched(addr, len));
+        }
+    }
+
+    /// Mark every line overlapping `[addr, addr+len)` dirty (CrashSim only).
+    #[inline]
+    fn mark_dirty(&self, addr: u64, len: u64) {
+        if let Some(sim) = &self.sim {
+            if len == 0 {
+                return;
+            }
+            let first = addr / CACHE_LINE;
+            let last = (addr + len - 1) / CACHE_LINE;
+            for line in first..=last {
+                sim.line_state[line as usize].store(LINE_DIRTY, Ordering::Release);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Word-level raw access.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn load_word(&self, widx: usize) -> u64 {
+        self.words[widx].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn store_word(&self, widx: usize, v: u64) {
+        self.words[widx].store(v, Ordering::Relaxed);
+    }
+
+    /// Read an unsigned integer of `LEN` bytes (1, 2, 4 or 8) at any byte
+    /// address, crossing word boundaries if necessary.
+    #[inline]
+    fn read_uint(&self, addr: u64, len: u64) -> u64 {
+        self.check(addr, len);
+        self.charge_read(addr, len);
+        let widx = (addr / 8) as usize;
+        let shift = (addr % 8) * 8;
+        if shift + len * 8 <= 64 {
+            let word = self.load_word(widx);
+            let v = word >> shift;
+            if len == 8 {
+                v
+            } else {
+                v & ((1u64 << (len * 8)) - 1)
+            }
+        } else {
+            // The value straddles two words.
+            let lo = self.load_word(widx) >> shift;
+            let hi_bits = shift + len * 8 - 64;
+            let hi = self.load_word(widx + 1) & ((1u64 << hi_bits) - 1);
+            let v = lo | (hi << (64 - shift));
+            if len == 8 {
+                v
+            } else {
+                v & ((1u64 << (len * 8)) - 1)
+            }
+        }
+    }
+
+    /// Write an unsigned integer of `len` bytes at any byte address.
+    ///
+    /// Sub-word writes are read-modify-write on the containing word(s); like
+    /// hardware, racing writers to the *same word* need external ordering,
+    /// which upper layers provide.
+    #[inline]
+    fn write_uint(&self, addr: u64, len: u64, v: u64) {
+        self.check(addr, len);
+        self.charge_write(addr, len);
+        self.mark_dirty(addr, len);
+        let widx = (addr / 8) as usize;
+        let shift = (addr % 8) * 8;
+        if len == 8 && shift == 0 {
+            self.store_word(widx, v);
+            return;
+        }
+        if shift + len * 8 <= 64 {
+            let mask = if len == 8 {
+                u64::MAX
+            } else {
+                ((1u64 << (len * 8)) - 1) << shift
+            };
+            let old = self.load_word(widx);
+            self.store_word(widx, (old & !mask) | ((v << shift) & mask));
+        } else {
+            let lo_bits = 64 - shift;
+            let lo_mask = u64::MAX << shift;
+            let old_lo = self.load_word(widx);
+            self.store_word(widx, (old_lo & !lo_mask) | (v << shift));
+            let hi_bits = len * 8 - lo_bits;
+            let hi_mask = (1u64 << hi_bits) - 1;
+            let old_hi = self.load_word(widx + 1);
+            self.store_word(widx + 1, (old_hi & !hi_mask) | ((v >> lo_bits) & hi_mask));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Typed accessors.
+    // ------------------------------------------------------------------
+
+    /// Read a `u64` at `addr` (any alignment).
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Write a `u64` at `addr` (any alignment).
+    #[inline]
+    pub fn write_u64(&self, addr: u64, v: u64) {
+        self.write_uint(addr, 8, v)
+    }
+
+    /// Read a `u32` at `addr`.
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_uint(addr, 4) as u32
+    }
+
+    /// Write a `u32` at `addr`.
+    #[inline]
+    pub fn write_u32(&self, addr: u64, v: u32) {
+        self.write_uint(addr, 4, v as u64)
+    }
+
+    /// Read a `u16` at `addr`.
+    #[inline]
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.read_uint(addr, 2) as u16
+    }
+
+    /// Write a `u16` at `addr`.
+    #[inline]
+    pub fn write_u16(&self, addr: u64, v: u16) {
+        self.write_uint(addr, 2, v as u64)
+    }
+
+    /// Read a single byte at `addr`.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.read_uint(addr, 1) as u8
+    }
+
+    /// Write a single byte at `addr`.
+    #[inline]
+    pub fn write_u8(&self, addr: u64, v: u8) {
+        self.write_uint(addr, 1, v as u64)
+    }
+
+    /// Read an `i32` at `addr`.
+    #[inline]
+    pub fn read_i32(&self, addr: u64) -> i32 {
+        self.read_u32(addr) as i32
+    }
+
+    /// Write an `i32` at `addr`.
+    #[inline]
+    pub fn write_i32(&self, addr: u64, v: i32) {
+        self.write_u32(addr, v as u32)
+    }
+
+    /// Read an `i64` at `addr`.
+    #[inline]
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Write an `i64` at `addr`.
+    #[inline]
+    pub fn write_i64(&self, addr: u64, v: i64) {
+        self.write_u64(addr, v as u64)
+    }
+
+    /// Read an `f64` at `addr`.
+    #[inline]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Write an `f64` at `addr`.
+    #[inline]
+    pub fn write_f64(&self, addr: u64, v: f64) {
+        self.write_u64(addr, v.to_bits())
+    }
+
+    /// Fill `out` from the pool starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) {
+        let len = out.len() as u64;
+        self.check(addr, len);
+        self.charge_read(addr, len);
+        let mut i = 0usize;
+        let mut a = addr;
+        // Head: bytes up to the next word boundary.
+        while i < out.len() && a % 8 != 0 {
+            out[i] = (self.load_word((a / 8) as usize) >> ((a % 8) * 8)) as u8;
+            i += 1;
+            a += 1;
+        }
+        // Body: whole words.
+        while out.len() - i >= 8 {
+            let w = self.load_word((a / 8) as usize);
+            out[i..i + 8].copy_from_slice(&w.to_le_bytes());
+            i += 8;
+            a += 8;
+        }
+        // Tail.
+        if i < out.len() {
+            let w = self.load_word((a / 8) as usize).to_le_bytes();
+            let rest = out.len() - i;
+            out[i..].copy_from_slice(&w[..rest]);
+        }
+    }
+
+    /// Copy `data` into the pool starting at `addr`.
+    pub fn write_bytes(&self, addr: u64, data: &[u8]) {
+        let len = data.len() as u64;
+        self.check(addr, len);
+        self.charge_write(addr, len);
+        self.mark_dirty(addr, len);
+        let mut i = 0usize;
+        let mut a = addr;
+        while i < data.len() && a % 8 != 0 {
+            let widx = (a / 8) as usize;
+            let shift = (a % 8) * 8;
+            let old = self.load_word(widx);
+            let mask = 0xffu64 << shift;
+            self.store_word(widx, (old & !mask) | ((data[i] as u64) << shift));
+            i += 1;
+            a += 1;
+        }
+        while data.len() - i >= 8 {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[i..i + 8]);
+            self.store_word((a / 8) as usize, u64::from_le_bytes(b));
+            i += 8;
+            a += 8;
+        }
+        if i < data.len() {
+            let widx = (a / 8) as usize;
+            let rest = data.len() - i;
+            let mut b = self.load_word(widx).to_le_bytes();
+            b[..rest].copy_from_slice(&data[i..]);
+            self.store_word(widx, u64::from_le_bytes(b));
+        }
+    }
+
+    /// Zero `len` bytes starting at `addr`.
+    pub fn zero_range(&self, addr: u64, len: u64) {
+        self.check(addr, len);
+        self.charge_write(addr, len);
+        self.mark_dirty(addr, len);
+        let mut a = addr;
+        let end = addr + len;
+        while a < end && a % 8 != 0 {
+            let widx = (a / 8) as usize;
+            let shift = (a % 8) * 8;
+            let old = self.load_word(widx);
+            self.store_word(widx, old & !(0xffu64 << shift));
+            a += 1;
+        }
+        while end - a >= 8 {
+            self.store_word((a / 8) as usize, 0);
+            a += 8;
+        }
+        while a < end {
+            let widx = (a / 8) as usize;
+            let shift = (a % 8) * 8;
+            let old = self.load_word(widx);
+            self.store_word(widx, old & !(0xffu64 << shift));
+            a += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic word operations (8-byte aligned addresses only).
+    // ------------------------------------------------------------------
+
+    /// Atomically add `delta` to the aligned word at `addr`, returning the
+    /// previous value. Used for the persistent bump pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned or out of bounds.
+    pub fn fetch_add_u64(&self, addr: u64, delta: u64) -> u64 {
+        assert!(addr % 8 == 0, "fetch_add_u64 requires 8-byte alignment");
+        self.check(addr, 8);
+        self.charge_write(addr, 8);
+        self.mark_dirty(addr, 8);
+        self.words[(addr / 8) as usize].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomically compare-and-swap the aligned word at `addr`.
+    ///
+    /// Returns `Ok(current)` on success and `Err(actual)` on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned or out of bounds.
+    pub fn cas_u64(&self, addr: u64, current: u64, new: u64) -> Result<u64, u64> {
+        assert!(addr % 8 == 0, "cas_u64 requires 8-byte alignment");
+        self.check(addr, 8);
+        self.charge_write(addr, 8);
+        self.mark_dirty(addr, 8);
+        self.words[(addr / 8) as usize].compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence primitives (Izraelevitz et al., as adapted by the paper).
+    // ------------------------------------------------------------------
+
+    /// `pwb`: enqueue the cache line containing `addr` into the
+    /// write-pending queue. Persistence is only guaranteed after a
+    /// subsequent [`Pmem::pfence`] or [`Pmem::psync`].
+    pub fn pwb(&self, addr: u64) {
+        self.check(addr, 1);
+        self.stats.pwbs.fetch_add(1, Ordering::Relaxed);
+        if self.latency_on {
+            spin_ns(self.latency.pwb_ns);
+        }
+        if let Some(sim) = &self.sim {
+            let line = addr / CACHE_LINE;
+            let st = &sim.line_state[line as usize];
+            // Only queue lines that are dirty and not already pending.
+            if st
+                .compare_exchange(
+                    LINE_DIRTY,
+                    LINE_PENDING,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                sim.wpq.push(line);
+            }
+        }
+    }
+
+    /// `pwb` over every line overlapping `[addr, addr + len)`.
+    pub fn pwb_range(&self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        self.check(addr, len);
+        let first = addr / CACHE_LINE;
+        let last = (addr + len - 1) / CACHE_LINE;
+        for line in first..=last {
+            self.pwb(line * CACHE_LINE);
+        }
+    }
+
+    fn persist_line(&self, sim: &CrashSim, line: u64) {
+        let base = line as usize * WORDS_PER_LINE;
+        for w in 0..WORDS_PER_LINE {
+            sim.media[base + w].store(self.words[base + w].load(Ordering::Acquire), Ordering::Release);
+        }
+    }
+
+    fn drain_wpq(&self, sim: &CrashSim) {
+        let _g = sim.crash_lock.lock();
+        while let Some(line) = sim.wpq.pop() {
+            self.persist_line(sim, line);
+            // If the line was rewritten after its pwb it is DIRTY again; the
+            // current content was persisted (an allowed eviction) but the
+            // line stays dirty so a later crash may still lose newer writes.
+            let _ = sim.line_state[line as usize].compare_exchange(
+                LINE_PENDING,
+                LINE_CLEAN,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+        }
+    }
+
+    /// `pfence`: order preceding `pwb`s before succeeding ones. Under the
+    /// ADR model the paper assumes, a fenced `pwb` is durable; the simulator
+    /// therefore drains the write-pending queue to media here.
+    pub fn pfence(&self) {
+        self.stats.pfences.fetch_add(1, Ordering::Relaxed);
+        if self.latency_on {
+            spin_ns(self.latency.pfence_ns);
+        }
+        if let Some(sim) = &self.sim {
+            self.drain_wpq(sim);
+        }
+    }
+
+    /// `psync`: a `pfence` that additionally waits for the write-pending
+    /// queue to reach media. Identical to `pfence` in the simulator (the
+    /// paper implements both with `sfence` on its Intel testbed).
+    pub fn psync(&self) {
+        self.stats.psyncs.fetch_add(1, Ordering::Relaxed);
+        if self.latency_on {
+            spin_ns(self.latency.psync_ns);
+        }
+        if let Some(sim) = &self.sim {
+            self.drain_wpq(sim);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash simulation.
+    // ------------------------------------------------------------------
+
+    /// Simulate a power failure.
+    ///
+    /// Every line not persisted via `pwb`+`pfence` independently survives
+    /// with `policy.evict_probability` (seeded — a given `(policy, dirty
+    /// set)` pair always produces the same post-crash state). The volatile
+    /// cache is then rebuilt from media, so subsequent reads observe exactly
+    /// the surviving state.
+    ///
+    /// Returns [`PmemError::CrashSimRequired`] on a `Performance`-mode pool.
+    ///
+    /// Callers must quiesce writer threads first, as with a real power
+    /// failure there is no meaningful "result" for racing in-flight writes.
+    pub fn crash(&self, policy: &CrashPolicy) -> Result<(), PmemError> {
+        let sim = self.sim.as_ref().ok_or(PmemError::CrashSimRequired)?;
+        let _g = sim.crash_lock.lock();
+        self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        let nlines = sim.line_state.len();
+        for line in 0..nlines {
+            let st = sim.line_state[line].load(Ordering::Acquire);
+            if st != LINE_CLEAN {
+                // Dirty lines may be evicted; pending lines sit in the
+                // write-pending queue, which may or may not drain before
+                // power loss. Both face the same coin.
+                let survive = policy.evict_probability > 0.0
+                    && (policy.evict_probability >= 1.0
+                        || rng.random::<f64>() < policy.evict_probability);
+                if survive {
+                    self.persist_line(sim, line as u64);
+                }
+                sim.line_state[line].store(LINE_CLEAN, Ordering::Release);
+            }
+        }
+        // Rebuild the cache view from what survived on media.
+        for w in 0..self.words.len() {
+            self.words[w].store(sim.media[w].load(Ordering::Acquire), Ordering::Release);
+        }
+        while sim.wpq.pop().is_some() {}
+        Ok(())
+    }
+
+    /// Persist every dirty line (an orderly shutdown / eADR-style flush).
+    /// No-op on `Performance` pools.
+    pub fn drain_all(&self) {
+        if let Some(sim) = &self.sim {
+            let _g = sim.crash_lock.lock();
+            for line in 0..sim.line_state.len() {
+                if sim.line_state[line].load(Ordering::Acquire) != LINE_CLEAN {
+                    self.persist_line(sim, line as u64);
+                    sim.line_state[line].store(LINE_CLEAN, Ordering::Release);
+                }
+            }
+            while sim.wpq.pop().is_some() {}
+        }
+    }
+
+    /// Direct read of the *media* (post-crash) content of a word, bypassing
+    /// the cache. Test-support API; falls back to the cache view on
+    /// `Performance` pools.
+    pub fn media_read_u64(&self, addr: u64) -> u64 {
+        assert!(addr % 8 == 0, "media_read_u64 requires 8-byte alignment");
+        self.check(addr, 8);
+        match &self.sim {
+            Some(sim) => sim.media[(addr / 8) as usize].load(Ordering::Acquire),
+            None => self.load_word((addr / 8) as usize),
+        }
+    }
+
+    pub(crate) fn persistent_word(&self, widx: usize) -> u64 {
+        match &self.sim {
+            Some(sim) => sim.media[widx].load(Ordering::Acquire),
+            None => self.words[widx].load(Ordering::Acquire),
+        }
+    }
+
+    pub(crate) fn restore_word(&self, widx: usize, v: u64) {
+        self.words[widx].store(v, Ordering::Release);
+        if let Some(sim) = &self.sim {
+            sim.media[widx].store(v, Ordering::Release);
+        }
+    }
+
+    pub(crate) fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    pub(crate) fn mode(&self) -> SimMode {
+        if self.sim.is_some() {
+            SimMode::CrashSim
+        } else {
+            SimMode::Performance
+        }
+    }
+}
+
+impl std::fmt::Debug for Pmem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pmem")
+            .field("size", &self.size)
+            .field("mode", &self.mode())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PmemConfig;
+
+    fn dev(size: u64) -> Arc<Pmem> {
+        Pmem::new(PmemConfig::crash_sim(size))
+    }
+
+    #[test]
+    fn round_trips_all_widths() {
+        let p = dev(4096);
+        p.write_u8(3, 0xab);
+        p.write_u16(10, 0xbeef);
+        p.write_u32(20, 0xdeadbeef);
+        p.write_u64(40, 0x0123456789abcdef);
+        p.write_i32(60, -42);
+        p.write_i64(72, i64::MIN + 7);
+        p.write_f64(80, -3.5);
+        assert_eq!(p.read_u8(3), 0xab);
+        assert_eq!(p.read_u16(10), 0xbeef);
+        assert_eq!(p.read_u32(20), 0xdeadbeef);
+        assert_eq!(p.read_u64(40), 0x0123456789abcdef);
+        assert_eq!(p.read_i32(60), -42);
+        assert_eq!(p.read_i64(72), i64::MIN + 7);
+        assert_eq!(p.read_f64(80), -3.5);
+    }
+
+    #[test]
+    fn unaligned_u64_crosses_words() {
+        let p = dev(4096);
+        for off in 0..8u64 {
+            let addr = 100 + off;
+            let v = 0x1122334455667788u64.wrapping_add(off);
+            p.write_u64(addr, v);
+            assert_eq!(p.read_u64(addr), v, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn adjacent_writes_do_not_clobber() {
+        let p = dev(4096);
+        p.write_u8(0, 0x11);
+        p.write_u8(1, 0x22);
+        p.write_u16(2, 0x4433);
+        p.write_u32(4, 0x88776655);
+        assert_eq!(p.read_u64(0), 0x8877665544332211);
+    }
+
+    #[test]
+    fn byte_slices_round_trip_unaligned() {
+        let p = dev(4096);
+        let data: Vec<u8> = (0..255u8).collect();
+        p.write_bytes(13, &data);
+        let mut out = vec![0u8; data.len()];
+        p.read_bytes(13, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn zero_range_works_unaligned() {
+        let p = dev(4096);
+        let data = vec![0xffu8; 64];
+        p.write_bytes(5, &data);
+        p.zero_range(9, 41);
+        let mut out = vec![0u8; 64];
+        p.read_bytes(5, &mut out);
+        for (i, b) in out.iter().enumerate() {
+            let addr = 5 + i as u64;
+            if (9..50).contains(&addr) {
+                assert_eq!(*b, 0, "addr {addr}");
+            } else {
+                assert_eq!(*b, 0xff, "addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let p = dev(64);
+        p.write_u64(60, 1);
+    }
+
+    #[test]
+    fn strict_crash_loses_unflushed_writes() {
+        let p = dev(4096);
+        p.write_u64(0, 77);
+        p.pwb(0);
+        p.pfence();
+        p.write_u64(128, 88); // never flushed
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(0), 77);
+        assert_eq!(p.read_u64(128), 0);
+    }
+
+    #[test]
+    fn pwb_without_fence_is_not_durable_under_strict_policy() {
+        let p = dev(4096);
+        p.write_u64(0, 1);
+        p.pwb(0); // queued, never fenced
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(0), 0);
+    }
+
+    #[test]
+    fn lenient_crash_keeps_everything() {
+        let p = dev(4096);
+        p.write_u64(0, 1);
+        p.write_u64(512, 2);
+        p.crash(&CrashPolicy::lenient()).unwrap();
+        assert_eq!(p.read_u64(0), 1);
+        assert_eq!(p.read_u64(512), 2);
+    }
+
+    #[test]
+    fn adversarial_crash_is_deterministic_per_seed() {
+        let mk = || {
+            let p = dev(64 * 1024);
+            for i in 0..100u64 {
+                p.write_u64(i * 128, i + 1);
+            }
+            p.crash(&CrashPolicy::adversarial(42)).unwrap();
+            (0..100u64).map(|i| p.read_u64(i * 128)).collect::<Vec<_>>()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        // With p=0.5 over 100 lines, some but not all survive.
+        assert!(a.iter().any(|v| *v != 0));
+        assert!(a.iter().any(|v| *v == 0));
+    }
+
+    #[test]
+    fn fence_persists_whole_line() {
+        let p = dev(4096);
+        // Two values on the same 64-byte line.
+        p.write_u64(192, 5);
+        p.write_u64(200, 6);
+        p.pwb(192);
+        p.pfence();
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(192), 5);
+        assert_eq!(p.read_u64(200), 6);
+    }
+
+    #[test]
+    fn pwb_range_covers_every_line() {
+        let p = dev(4096);
+        let data = vec![0xabu8; 256];
+        p.write_bytes(100, &data);
+        p.pwb_range(100, 256);
+        p.pfence();
+        p.crash(&CrashPolicy::strict()).unwrap();
+        let mut out = vec![0u8; 256];
+        p.read_bytes(100, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn crash_on_performance_pool_errors() {
+        let p = Pmem::new(PmemConfig::perf(4096));
+        assert!(matches!(
+            p.crash(&CrashPolicy::strict()),
+            Err(PmemError::CrashSimRequired)
+        ));
+    }
+
+    #[test]
+    fn fetch_add_and_cas() {
+        let p = dev(4096);
+        assert_eq!(p.fetch_add_u64(8, 5), 0);
+        assert_eq!(p.fetch_add_u64(8, 3), 5);
+        assert_eq!(p.read_u64(8), 8);
+        assert_eq!(p.cas_u64(8, 8, 100), Ok(8));
+        assert_eq!(p.cas_u64(8, 8, 200), Err(100));
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let p = dev(4096);
+        p.reset_stats();
+        p.write_u64(0, 1);
+        p.read_u64(0);
+        p.pwb(0);
+        p.pfence();
+        p.psync();
+        let s = p.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.pwbs, 1);
+        assert_eq!(s.pfences, 1);
+        assert_eq!(s.psyncs, 1);
+        assert_eq!(s.bytes_written, 8);
+        assert_eq!(s.bytes_read, 8);
+    }
+
+    #[test]
+    fn drain_all_persists_everything() {
+        let p = dev(4096);
+        p.write_u64(0, 11);
+        p.write_u64(1024, 22);
+        p.drain_all();
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(0), 11);
+        assert_eq!(p.read_u64(1024), 22);
+    }
+
+    #[test]
+    fn size_rounds_up_to_line() {
+        let p = Pmem::new(PmemConfig::crash_sim(100));
+        assert_eq!(p.len(), 128);
+    }
+
+    #[test]
+    fn rewrite_after_pwb_may_lose_only_newer_data() {
+        let p = dev(4096);
+        p.write_u64(0, 1);
+        p.pwb(0);
+        p.pfence(); // 1 is durable
+        p.write_u64(0, 2); // newer, unflushed
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(0), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_lines() {
+        let p = dev(64 * 1024);
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        let addr = (t * 1000 + i) * 8 % (64 * 1024 - 8);
+                        let _ = addr; // distinct ranges per thread below
+                        let a = t * 8192 + (i % 1000) * 8;
+                        p.write_u64(a, t + 1);
+                        p.pwb(a);
+                    }
+                    p.pfence();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        p.crash(&CrashPolicy::strict()).unwrap();
+        for t in 0..8u64 {
+            assert_eq!(p.read_u64(t * 8192), t + 1);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type of the pmem device.
+
+use std::fmt;
+
+/// Errors reported by the simulated NVMM device.
+#[derive(Debug)]
+pub enum PmemError {
+    /// An access touched bytes beyond the end of the pool.
+    OutOfBounds {
+        /// First byte of the offending access.
+        addr: u64,
+        /// Length of the offending access.
+        len: u64,
+        /// Total pool size in bytes.
+        size: u64,
+    },
+    /// The requested operation needs [`crate::SimMode::CrashSim`].
+    CrashSimRequired,
+    /// A pool image on disk is malformed or from an incompatible version.
+    BadImage(String),
+    /// An underlying I/O error while saving or loading a pool image.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfBounds { addr, len, size } => write!(
+                f,
+                "pmem access out of bounds: addr={addr:#x} len={len} pool size={size}"
+            ),
+            PmemError::CrashSimRequired => {
+                write!(f, "operation requires a device in CrashSim mode")
+            }
+            PmemError::BadImage(msg) => write!(f, "bad pmem image: {msg}"),
+            PmemError::Io(e) => write!(f, "pmem image i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmemError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PmemError {
+    fn from(e: std::io::Error) -> Self {
+        PmemError::Io(e)
+    }
+}

@@ -1,0 +1,48 @@
+//! # jnvm-pmem — simulated Non-Volatile Main Memory
+//!
+//! This crate is the hardware substitute for the Intel Optane DC persistent
+//! memory used by the J-NVM paper (SOSP '21). It provides a byte-addressable
+//! memory pool together with the three architecture-agnostic persistence
+//! primitives of Izraelevitz et al. that the paper adds to the HotSpot JVM:
+//!
+//! * [`Pmem::pwb`] — *persistent write-back*: enqueue the cache line holding
+//!   an address into the write-pending queue (models `clwb`),
+//! * [`Pmem::pfence`] — order preceding `pwb`s/stores before succeeding ones
+//!   and drain the write-pending queue to media (models `sfence` under ADR),
+//! * [`Pmem::psync`] — like `pfence`, additionally guaranteeing that pending
+//!   lines reached the media (the paper implements both with `sfence`).
+//!
+//! ## Simulation modes
+//!
+//! * [`SimMode::Performance`] — a single in-memory array; persistence
+//!   primitives only update statistics and inject calibrated latency. Used by
+//!   the benchmark harnesses.
+//! * [`SimMode::CrashSim`] — a cache/media split with per-line dirty state.
+//!   [`Pmem::crash`] simulates a power failure: every line that was not
+//!   explicitly written back *may or may not* have reached the media
+//!   (seeded, configurable eviction probability), after which the volatile
+//!   cache is rebuilt from the media. This is strictly harsher than the
+//!   paper's SIGKILL experiments and is the substrate for all
+//!   crash-consistency tests in the workspace.
+//!
+//! ## Addressing
+//!
+//! All addresses are **byte offsets relative to the pool base**, never
+//! absolute pointers, mirroring the paper's relocatable-heap requirement
+//! (§4.4). Sub-word and unaligned accesses are supported; aligned accesses
+//! take a fast path.
+
+mod config;
+mod device;
+#[cfg(test)]
+mod proptests;
+mod error;
+mod image;
+mod latency;
+mod stats;
+
+pub use config::{CrashPolicy, LatencyProfile, PmemConfig, SimMode};
+pub use device::{Pmem, CACHE_LINE};
+pub use error::PmemError;
+pub use latency::spin_ns;
+pub use stats::{PmemStats, StatsSnapshot};

@@ -1,0 +1,91 @@
+//! Operation counters of the device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters; every device operation bumps one of these.
+#[derive(Debug, Default)]
+pub struct PmemStats {
+    pub(crate) reads: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) bytes_read: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+    pub(crate) pwbs: AtomicU64,
+    pub(crate) pfences: AtomicU64,
+    pub(crate) psyncs: AtomicU64,
+    pub(crate) crashes: AtomicU64,
+}
+
+impl PmemStats {
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Capture a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            pwbs: self.pwbs.load(Ordering::Relaxed),
+            pfences: self.pfences.load(Ordering::Relaxed),
+            psyncs: self.psyncs.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.pwbs.store(0, Ordering::Relaxed);
+        self.pfences.store(0, Ordering::Relaxed);
+        self.psyncs.store(0, Ordering::Relaxed);
+        self.crashes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the device counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// `pwb` invocations.
+    pub pwbs: u64,
+    /// `pfence` invocations.
+    pub pfences: u64,
+    /// `psync` invocations.
+    pub psyncs: u64,
+    /// Simulated power failures.
+    pub crashes: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier`, for measuring an interval.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            pwbs: self.pwbs - earlier.pwbs,
+            pfences: self.pfences - earlier.pfences,
+            psyncs: self.psyncs - earlier.psyncs,
+            crashes: self.crashes - earlier.crashes,
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # jnvm-tpcb — the TPC-B-like bank of §5.3.3
+//!
+//! A bank server holding N accounts of 140 B each, exposing a single
+//! `transfer` operation executed in a failure-atomic block (J-PFA), plus
+//! the alternative persistence designs Figure 11 compares (Volatile, FS)
+//! and the crash/recovery timeline driver that regenerates the figure.
+
+mod bank;
+mod timeline;
+
+pub use bank::{register_tpcb, Account, Bank, FsBank, JnvmBank, VolatileBank, ACCOUNT_BYTES};
+pub use timeline::{run_timeline, BankKind, TimelineConfig, TimelineReport};

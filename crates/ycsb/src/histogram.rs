@@ -1,0 +1,226 @@
+//! Log-bucketed latency histograms (an HdrHistogram-like sketch).
+
+/// Nanosecond latency histogram with logarithmic major buckets and linear
+/// sub-buckets — constant memory, ~3 % relative error, cheap record path.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// buckets[major][sub]: major = floor(log2(v)) clamped, 32 sub-buckets.
+    buckets: Vec<[u64; Histogram::SUBS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    const MAJORS: usize = 44; // up to ~17.6 s in ns
+    const SUBS: usize = 32;
+
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![[0; Histogram::SUBS]; Histogram::MAJORS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn slot(v: u64) -> (usize, usize) {
+        let v = v.max(1);
+        let major = (63 - v.leading_zeros() as usize).min(Histogram::MAJORS - 1);
+        let sub = if major < 5 {
+            0
+        } else {
+            ((v >> (major - 5)) & 0x1f) as usize
+        };
+        (major, sub)
+    }
+
+    /// Record one latency value (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        let (major, sub) = Histogram::slot(v);
+        self.buckets[major][sub] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (m, subs) in other.buckets.iter().enumerate() {
+            for (s, c) in subs.iter().enumerate() {
+                self.buckets[m][s] += c;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (ns).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]` (ns).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (m, subs) in self.buckets.iter().enumerate() {
+            for (s, c) in subs.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    // Representative value of the bucket: its lower bound.
+                    let base = 1u64 << m;
+                    let width = if m < 5 { 1 } else { 1u64 << (m - 5) };
+                    return (base + s as u64 * width).min(self.max.max(1));
+                }
+            }
+        }
+        self.max
+    }
+
+    /// Condensed summary.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            min_ns: if self.count == 0 { 0 } else { self.min },
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+            p9999_ns: self.quantile(0.9999),
+            max_ns: self.max,
+        }
+    }
+}
+
+/// Percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Minimum (ns).
+    pub min_ns: u64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 90th percentile (ns).
+    pub p90_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// 99.9th percentile (ns).
+    pub p999_ns: u64,
+    /// 99.99th percentile (ns).
+    pub p9999_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Render as `mean/p50/p99/p9999/max` in microseconds.
+    pub fn display_us(&self) -> String {
+        format!(
+            "mean {:.1}us p50 {:.1}us p99 {:.1}us p99.99 {:.1}us max {:.1}us",
+            self.mean_ns / 1e3,
+            self.p50_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3,
+            self.p9999_ns as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1..1000 us
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert!((s.mean_ns - 500_500.0).abs() < 1000.0);
+        // ~3% bucket error, allow 10%.
+        let p50 = s.p50_ns as f64;
+        assert!((450_000.0..=550_000.0).contains(&p50), "p50 {p50}");
+        let p99 = s.p99_ns as f64;
+        assert!((900_000.0..=1_010_000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(s.min_ns, 1000);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.summary().max_ns, 1_000_000);
+        assert_eq!(a.summary().min_ns, 100);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ns, 0);
+        assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn extreme_values_clamp() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) > 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record(x % 10_000_000 + 1);
+        }
+        let qs: Vec<u64> = [0.1, 0.5, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|q| h.quantile(*q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "{qs:?}");
+        }
+    }
+}
