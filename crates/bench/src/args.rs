@@ -12,11 +12,11 @@ impl Args {
     /// Parse the process arguments. Accepts `--key value` and
     /// `--key=value`; bare flags get the value `"true"`.
     pub fn parse() -> Args {
-        Args::from_iter(std::env::args().skip(1))
+        Args::from_args(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Args {
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Args {
         let mut flags = HashMap::new();
         let mut it = args.into_iter().peekable();
         while let Some(a) = it.next() {
@@ -25,7 +25,7 @@ impl Args {
             };
             if let Some((k, v)) = key.split_once('=') {
                 flags.insert(k.to_string(), v.to_string());
-            } else if it.peek().map_or(false, |n| !n.starts_with("--")) {
+            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
                 flags.insert(key.to_string(), it.next().expect("peeked"));
             } else {
                 flags.insert(key.to_string(), "true".to_string());
@@ -57,7 +57,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|x| x.to_string()))
+        Args::from_args(s.iter().map(|x| x.to_string()))
     }
 
     #[test]

@@ -23,7 +23,7 @@ use jnvm_jpdt::{
 use jnvm_pmem::{Pmem, PmemConfig};
 use jnvm_ycsb::{record_key, Generator, ScrambledZipfianGenerator};
 use rand::rngs::SmallRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// One YCSB-A pass over a map-like store. Returns
 /// `(total, read_time, update_time)` in seconds.

@@ -9,7 +9,7 @@
 //! Flags: `--part a|b|c|d|all` (default all), `--ops` (default 20000),
 //! `--out results`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use jnvm_bench::{make_grid, write_csv, Args, BackendKind, GridClient, Table};
@@ -55,7 +55,7 @@ fn run_point(
     }
 }
 
-fn emit(part: &str, title: &str, points: Vec<Point>, out: &PathBuf) {
+fn emit(part: &str, title: &str, points: Vec<Point>, out: &Path) {
     println!("\nFigure 9{part}: {title}");
     let mut table = Table::new(&[
         "point",

@@ -183,6 +183,59 @@ struct TxState {
 thread_local! {
     static TX_DEPTH: Cell<u32> = const { Cell::new(0) };
     static TX: RefCell<Option<TxState>> = const { RefCell::new(None) };
+    static PHASE: Cell<CommitPhase> = const { Cell::new(CommitPhase::Idle) };
+}
+
+/// Where this thread's most recent failure-atomic block is (or was) in the
+/// §4.2 commit protocol. Diagnostic only: crash-point sweeps read it after
+/// an injected crash to label the point and to select interesting pool
+/// states (e.g. "committed but not yet applied"). The marker is *not*
+/// reset when a block unwinds — it keeps the phase the crash interrupted —
+/// and is overwritten when the next outermost block starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitPhase {
+    /// No commit activity since the last completed block.
+    #[default]
+    Idle,
+    /// Inside the user closure: mutations are being redirected and logged.
+    Mutate,
+    /// Step 1: flushing in-flight blocks and fresh allocations.
+    FlushInflight,
+    /// Step 2: writing + flushing the committed flag and entry count.
+    CommitPoint,
+    /// Step 3: copying in-flight payloads onto the originals.
+    Apply,
+    /// Step 4: clearing the committed flag so the log can be reused.
+    Retire,
+}
+
+impl CommitPhase {
+    /// Short label for sweep tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommitPhase::Idle => "idle",
+            CommitPhase::Mutate => "mutate",
+            CommitPhase::FlushInflight => "flush-inflight",
+            CommitPhase::CommitPoint => "commit-point",
+            CommitPhase::Apply => "apply",
+            CommitPhase::Retire => "retire",
+        }
+    }
+
+    /// True once the log is durably committed: a crash here must replay
+    /// the block to completion, never roll it back.
+    pub fn is_committed(self) -> bool {
+        matches!(self, CommitPhase::Apply | CommitPhase::Retire)
+    }
+}
+
+/// This thread's current [`CommitPhase`].
+pub fn commit_phase() -> CommitPhase {
+    PHASE.with(|p| p.get())
+}
+
+fn set_phase(p: CommitPhase) {
+    PHASE.with(|c| c.set(p));
 }
 
 /// Current failure-atomic nesting depth of this thread. This is the paper's
@@ -360,6 +413,7 @@ impl JnvmRuntime {
     pub fn fa<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
         let outermost = depth() == 0;
         if outermost {
+            set_phase(CommitPhase::Mutate);
             let log = self.fa_manager().acquire_log(self);
             TX.with(|tx| {
                 *tx.borrow_mut() = Some(TxState {
@@ -423,8 +477,10 @@ fn commit_tx(rt: &Jnvm) {
     let heap = rt.heap();
     if state.count == 0 {
         rt.fa_manager().release_log(state.log);
+        set_phase(CommitPhase::Idle);
         return;
     }
+    set_phase(CommitPhase::FlushInflight);
     // 1. In-flight payloads reach the write-pending queue (entries already
     //    have). Objects *allocated* in this block were written in place
     //    with their explicit flushes suppressed by the mediation — the
@@ -432,6 +488,13 @@ fn commit_tx(rt: &Jnvm) {
     //    block are propagated to NVMM at the end of the block", §3.2.2).
     //    Then everything is fenced.
     for inflight in state.redirects.values() {
+        // Invariant: the in-flight header was zeroed by `redirect_write`
+        // but never flushed there. It must be durable by the commit point
+        // — recovery identifies in-flight copies as reclaimable precisely
+        // by their zero header — and that must hold even if the header
+        // ever stops sharing a cache line with the payload's first bytes,
+        // so flush it explicitly rather than relying on the range below.
+        pmem.pwb(*inflight);
         pmem.pwb_range(inflight + 8, heap.payload_size());
     }
     for master in &state.allocated {
@@ -445,22 +508,33 @@ fn commit_tx(rt: &Jnvm) {
     }
     pmem.pfence();
     // 2. Commit point.
+    set_phase(CommitPhase::CommitPoint);
     pmem.write_u64(state.log.chain.phys(LOG_COUNT), state.count);
     pmem.write_u64(state.log.chain.phys(LOG_COMMITTED), 1);
     pmem.pwb(state.log.chain.phys(LOG_COMMITTED));
     pmem.pwb(state.log.chain.phys(LOG_COUNT));
     pmem.pfence();
     // 3. Apply (fence-free: a crash replays the committed log).
+    set_phase(CommitPhase::Apply);
     apply_entries(rt, &state.log.chain, state.count, true);
     // 4. Retire the log before reuse.
+    set_phase(CommitPhase::Retire);
     pmem.write_u64(state.log.chain.phys(LOG_COMMITTED), 0);
     pmem.pwb(state.log.chain.phys(LOG_COMMITTED));
     pmem.pfence();
     rt.fa_manager().release_log(state.log);
+    set_phase(CommitPhase::Idle);
 }
 
 fn abort_tx(rt: &Jnvm) {
-    let state = TX.with(|tx| tx.borrow_mut().take().expect("abort without transaction"));
+    // `commit_tx` takes the state before its first step, so an unwind out
+    // of the commit sequence itself (e.g. an injected crash between two
+    // `pwb`s) reaches the guard with no transaction left. There is nothing
+    // to abort then: depending on where the crash hit, either recovery
+    // abandons the uncommitted log or replays the committed one.
+    let Some(state) = TX.with(|tx| tx.borrow_mut().take()) else {
+        return;
+    };
     let heap = rt.heap();
     // Release in-flight copies (contents irrelevant, headers already 0).
     for inflight in state.redirects.values() {

@@ -209,7 +209,7 @@ impl Proxy {
     /// Read a `u64` field at logical payload offset `off` (8-byte aligned).
     #[inline]
     pub fn read_u64(&self, off: u64) -> u64 {
-        debug_assert!(off % 8 == 0, "word fields must be 8-byte aligned");
+        debug_assert!(off.is_multiple_of(8), "word fields must be 8-byte aligned");
         let (bi, boff) = self.chain.locate(off);
         let block = self.resolve_read(self.chain.blocks[bi]);
         self.rt.pmem().read_u64(block + boff)
@@ -218,7 +218,7 @@ impl Proxy {
     /// Write a `u64` field at logical payload offset `off` (8-byte aligned).
     #[inline]
     pub fn write_u64(&self, off: u64, v: u64) {
-        debug_assert!(off % 8 == 0, "word fields must be 8-byte aligned");
+        debug_assert!(off.is_multiple_of(8), "word fields must be 8-byte aligned");
         let (bi, boff) = self.chain.locate(off);
         let block = self.resolve_write(self.chain.blocks[bi]);
         self.rt.pmem().write_u64(block + boff, v);

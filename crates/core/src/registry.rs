@@ -158,10 +158,8 @@ impl ClassRegistry {
             by_name: HashMap::new(),
             table_addr: table.addr(),
         };
-        let mut next_id = FIRST_USER_CLASS_ID;
-        for ops in classes {
+        for (next_id, ops) in (FIRST_USER_CLASS_ID..).zip(classes.iter()) {
             reg.append_entry(rt, next_id, ops)?;
-            next_id += 1;
         }
         rt.pmem().psync();
         Ok(reg)

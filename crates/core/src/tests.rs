@@ -492,8 +492,7 @@ fn open_rejects_missing_class() {
     let err = JnvmBuilder::new()
         .register::<Simple>() // Node missing
         .open(Arc::clone(&pmem))
-        .err()
-        .expect("must refuse to open without Node registered");
+        .expect_err("must refuse to open without Node registered");
     assert!(matches!(err, JnvmError::UnknownPersistedClass(_)));
 }
 

@@ -1,0 +1,248 @@
+//! # jnvm-faultsim — crash-point sweep driver
+//!
+//! The `jnvm-pmem` injection engine ([`jnvm_pmem::FaultPlan`]) can crash the
+//! simulated device immediately **before** its N-th persistence-relevant
+//! operation. This crate turns that single primitive into an exhaustive
+//! testing harness: given a workload, it
+//!
+//! 1. runs a **count pass** ([`FaultMode::Count`]) to learn how many
+//!    persistence-relevant operations the workload performs (and optionally
+//!    the full op trace), then
+//! 2. **sweeps**: for every crash point `i` in `0..N` it rebuilds the
+//!    initial state from scratch, arms [`FaultMode::CrashAt`]`(i)`, runs the
+//!    workload until the injected power failure unwinds it, and hands the
+//!    crashed device to a caller-supplied `verify` closure — which typically
+//!    re-opens the pool and asserts the workload's recovery invariants.
+//!
+//! The driver takes care of the delicate ordering around the unwind: the
+//! workload context is dropped **while the device is still frozen**, so that
+//! destructors running during/after the unwind (e.g. a failure-atomic
+//! guard's abort path) cannot retroactively repair the crash image, and only
+//! then is the device thawed for verification.
+//!
+//! The driver is deliberately generic over the workload context `Ctx` so
+//! the same loop drives raw-device workloads, `jnvm` runtimes, and whole
+//! KV stores (see the workspace's `tests/crash_points.rs`).
+
+use std::sync::Arc;
+
+use jnvm_pmem::{catch_crash, CrashInjected, FaultMode, FaultPlan, Pmem, TraceRecord};
+
+/// What happened at one crash point of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashReport {
+    /// The 0-based index of the persistence-relevant op that was replaced
+    /// by a power failure.
+    pub point: u64,
+    /// The op that would have executed, as unwound by the engine.
+    pub crash: CrashInjected,
+}
+
+/// Aggregate result of [`sweep`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepSummary {
+    /// Crash points actually exercised (workload crashed and was verified).
+    pub points_crashed: usize,
+    /// Points at which the workload ran to completion instead of crashing
+    /// (the point index was past the end of the op stream).
+    pub points_completed: usize,
+}
+
+/// Run `workload` once with the injector in counting mode and return the
+/// number of persistence-relevant operations it performs.
+///
+/// `setup` builds a fresh device + workload context; the same closures are
+/// then typically handed to [`sweep`].
+pub fn count_ops<Ctx>(
+    setup: impl FnOnce() -> (Arc<Pmem>, Ctx),
+    workload: impl FnOnce(&Ctx),
+) -> u64 {
+    let (pmem, ctx) = setup();
+    pmem.arm_faults(FaultPlan::count());
+    workload(&ctx);
+    drop(ctx);
+    pmem.disarm_faults()
+}
+
+/// Like [`count_ops`], additionally returning the ordered trace of
+/// persistence-relevant operations — one [`TraceRecord`] per crash point,
+/// so `trace[i]` names the op that a [`FaultMode::CrashAt`]`(i)` run would
+/// replace with a power failure.
+pub fn trace_ops<Ctx>(
+    setup: impl FnOnce() -> (Arc<Pmem>, Ctx),
+    workload: impl FnOnce(&Ctx),
+) -> (u64, Vec<TraceRecord>) {
+    let (pmem, ctx) = setup();
+    pmem.arm_faults(FaultPlan::count());
+    workload(&ctx);
+    drop(ctx);
+    let trace = pmem.fault_trace();
+    let n = pmem.disarm_faults();
+    (n, trace)
+}
+
+/// Sweep the given crash points of a workload.
+///
+/// For each point `i` in `points`:
+///
+/// 1. `setup()` builds a fresh device and workload context (pool created,
+///    warmed up, fences drained — everything *before* the region under
+///    test);
+/// 2. the device is armed with `CrashAt(i)` (under `plan`'s crash policy);
+/// 3. `workload(&ctx)` runs inside [`catch_crash`]; the injected power
+///    failure unwinds it at op `i`;
+/// 4. the context is dropped **while the device is still frozen**, then the
+///    device is disarmed (thawed);
+/// 5. on a crash, `verify(&pmem, &report)` checks recovery invariants
+///    (typically: reopen the pool, assert the workload's atomicity /
+///    durability contract, check for leaked blocks). If the workload
+///    instead ran to completion, the point was past the end of the op
+///    stream; it is tallied in [`SweepSummary::points_completed`] and
+///    `verify` is not called.
+///
+/// Panics from `workload` that are not injected crashes propagate (they are
+/// real bugs); panics from `verify` propagate (they are failed invariants).
+pub fn sweep<Ctx>(
+    points: impl IntoIterator<Item = u64>,
+    plan: FaultPlan,
+    mut setup: impl FnMut() -> (Arc<Pmem>, Ctx),
+    mut workload: impl FnMut(&Ctx),
+    mut verify: impl FnMut(&Arc<Pmem>, &CrashReport),
+) -> SweepSummary {
+    let mut summary = SweepSummary::default();
+    for point in points {
+        let (pmem, ctx) = setup();
+        pmem.arm_faults(FaultPlan {
+            mode: FaultMode::CrashAt(point),
+            ..plan
+        });
+        let outcome = catch_crash(|| workload(&ctx));
+        // Destructors (e.g. fa-guard abort paths) must not be able to touch
+        // the post-crash image: drop the context before thawing.
+        drop(ctx);
+        pmem.disarm_faults();
+        match outcome {
+            Err(crash) => {
+                summary.points_crashed += 1;
+                verify(&pmem, &CrashReport { point, crash });
+            }
+            Ok(()) => summary.points_completed += 1,
+        }
+    }
+    summary
+}
+
+/// Sweep **every** crash point of the workload: a count pass learns the op
+/// count `N`, then [`sweep`] runs over `0..N`. Returns the summary; the
+/// caller's invariants live in `verify`.
+///
+/// `setup` is invoked `N + 1` times (once for the count pass); it must be
+/// deterministic enough that every instance performs the same op stream.
+pub fn sweep_all<Ctx>(
+    plan: FaultPlan,
+    mut setup: impl FnMut() -> (Arc<Pmem>, Ctx),
+    mut workload: impl FnMut(&Ctx),
+    verify: impl FnMut(&Arc<Pmem>, &CrashReport),
+) -> SweepSummary {
+    let total = count_ops(&mut setup, &mut workload);
+    let summary = sweep(0..total, plan, setup, workload, verify);
+    assert_eq!(
+        summary.points_completed, 0,
+        "count pass reported {total} ops but a CrashAt point within 0..{total} \
+         did not fire — the workload is not deterministic across setups"
+    );
+    summary
+}
+
+/// Evenly strided sample of `0..total` with at most `max_points` elements,
+/// always including the first and last point. Lets long workloads run a
+/// representative sweep by default while keeping the exhaustive sweep
+/// (`stride == 1`) available behind `--ignored` test gates.
+pub fn strided_points(total: u64, max_points: u64) -> Vec<u64> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let max_points = max_points.max(2);
+    let stride = total.div_ceil(max_points).max(1);
+    let mut pts: Vec<u64> = (0..total).step_by(stride as usize).collect();
+    if *pts.last().expect("non-empty") != total - 1 {
+        pts.push(total - 1);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jnvm_pmem::{FaultOp, PmemConfig};
+
+    /// A miniature redo-log commit against the raw device: write a value
+    /// and a commit flag with a correct flush/fence protocol.
+    fn raw_commit(pmem: &Arc<Pmem>) {
+        pmem.write_u64(0, 0xfeed);
+        pmem.pwb(0);
+        pmem.pfence();
+        pmem.write_u64(64, 1); // commit flag on its own line
+        pmem.pwb(64);
+        pmem.pfence();
+    }
+
+    fn setup() -> (Arc<Pmem>, Arc<Pmem>) {
+        let pmem = Pmem::new(PmemConfig::crash_sim(4096));
+        (Arc::clone(&pmem), pmem)
+    }
+
+    #[test]
+    fn count_matches_trace_len() {
+        let (n, trace) = trace_ops(setup, raw_commit);
+        assert_eq!(n, 6);
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace[0].op, FaultOp::Write);
+        assert_eq!(trace[5].op, FaultOp::Pfence);
+    }
+
+    #[test]
+    fn sweep_all_visits_every_point() {
+        let mut seen = Vec::new();
+        let summary = sweep_all(
+            FaultPlan::count(),
+            setup,
+            raw_commit,
+            |pmem, report| {
+                // The protocol's invariant: if the commit flag reached the
+                // media, the value must be there too.
+                if pmem.read_u64(64) == 1 {
+                    assert_eq!(pmem.read_u64(0), 0xfeed, "flag durable before value");
+                }
+                seen.push(report.point);
+            },
+        );
+        assert_eq!(summary.points_crashed, 6);
+        assert_eq!(summary.points_completed, 0);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn past_the_end_points_complete() {
+        let summary = sweep(
+            [100u64, 200u64],
+            FaultPlan::count(),
+            setup,
+            raw_commit,
+            |_, _| panic!("no crash expected"),
+        );
+        assert_eq!(summary.points_crashed, 0);
+        assert_eq!(summary.points_completed, 2);
+    }
+
+    #[test]
+    fn strided_points_cover_ends() {
+        assert_eq!(strided_points(0, 8), Vec::<u64>::new());
+        assert_eq!(strided_points(1, 8), vec![0]);
+        assert_eq!(strided_points(6, 8), vec![0, 1, 2, 3, 4, 5]);
+        let pts = strided_points(1000, 10);
+        assert!(pts.len() <= 11, "{pts:?}");
+        assert_eq!(pts[0], 0);
+        assert_eq!(*pts.last().expect("non-empty"), 999);
+    }
+}

@@ -69,7 +69,7 @@ impl PoolManager {
     /// Whether `addr` refers to a pooled object (mini-header address) rather
     /// than a block object (block-aligned master address).
     pub fn is_pooled_addr(&self, addr: u64) -> bool {
-        addr % self.heap.block_size() != 0
+        !addr.is_multiple_of(self.heap.block_size())
     }
 
     fn class_for(&self, payload: u64) -> Result<usize, HeapError> {
@@ -184,7 +184,7 @@ impl PoolManager {
             .unwrap_or_else(|| panic!("pool block {block} has unknown class {payload}"));
         let off = addr - (base + 16);
         assert!(
-            off % Self::slot_total(payload) == 0,
+            off.is_multiple_of(Self::slot_total(payload)),
             "address {addr:#x} is not on a slot boundary"
         );
         (ci, off / Self::slot_total(payload))

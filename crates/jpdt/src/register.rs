@@ -245,6 +245,6 @@ mod tests {
         // block is freed; pool blocks are retained for slot reuse.
         assert_eq!(after.blocks_freed - before.blocks_freed, 1);
         assert_eq!(after.blocks_allocated - before.blocks_allocated, 2);
-        assert_eq!(rt.pools().free_slots() as usize > 0, true);
+        assert!(rt.pools().free_slots() as usize > 0);
     }
 }

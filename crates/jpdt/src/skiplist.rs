@@ -131,8 +131,7 @@ impl<K: Ord, V> SkipListMap<K, V> {
                 self.arena.len() - 1
             }
         };
-        for l in 0..lvl {
-            let pred = preds[l];
+        for (l, &pred) in preds.iter().enumerate().take(lvl) {
             let succ = self.next_of(pred, l);
             self.arena[idx].next[l] = succ;
             self.set_next(pred, l, idx);
@@ -162,9 +161,9 @@ impl<K: Ord, V> SkipListMap<K, V> {
             return false;
         }
         let height = self.arena[target].next.len();
-        for l in 0..height {
+        for (l, &pred) in preds.iter().enumerate().take(height) {
             let succ = self.arena[target].next[l];
-            self.set_next(preds[l], l, succ);
+            self.set_next(pred, l, succ);
         }
         self.arena[target].next.clear();
         self.len -= 1;

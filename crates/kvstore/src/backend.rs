@@ -42,6 +42,10 @@ pub trait Backend: Send + Sync {
     fn remove(&self, key: &str) -> bool;
     /// Number of stored records.
     fn len(&self) -> usize;
+    /// Whether the backend holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Whether the grid should route single-field updates to
     /// [`Backend::update_field`] (J-NVM designs) rather than
     /// read-modify-write + [`Backend::store_full`] (external designs).

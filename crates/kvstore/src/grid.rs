@@ -129,13 +129,17 @@ impl DataGrid {
     /// Cache hits still return materialized records.
     pub fn read_touch(&self, key: &str) -> bool {
         let _g = self.stripe(key).lock();
+        self.read_touch_locked(key)
+    }
+
+    /// [`DataGrid::read_touch`] body; caller holds the key's stripe lock.
+    fn read_touch_locked(&self, key: &str) -> bool {
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
-        if self.cache_enabled {
-            if self.cache.get(&key.to_string()).is_some() {
+        if self.cache_enabled
+            && self.cache.get(&key.to_string()).is_some() {
                 self.metrics.hits.fetch_add(1, Ordering::Relaxed);
                 return true;
             }
-        }
         self.metrics.misses.fetch_add(1, Ordering::Relaxed);
         if self.backend.prefers_field_updates() {
             // J-NVM path: proxy touch.
@@ -160,6 +164,11 @@ impl DataGrid {
     /// is exactly the asymmetry Figure 7 measures).
     pub fn update_field(&self, key: &str, field: usize, value: &[u8]) -> bool {
         let _g = self.stripe(key).lock();
+        self.update_field_locked(key, field, value)
+    }
+
+    /// [`DataGrid::update_field`] body; caller holds the key's stripe lock.
+    fn update_field_locked(&self, key: &str, field: usize, value: &[u8]) -> bool {
         self.metrics.writes.fetch_add(1, Ordering::Relaxed);
         let ok = if self.backend.prefers_field_updates() {
             self.backend.update_field(key, field, value)
@@ -200,14 +209,17 @@ impl DataGrid {
     /// Read-modify-write: read the record (through proxies for J-NVM
     /// backends, materialized otherwise), then update one field.
     pub fn rmw(&self, key: &str, field: usize, value: &[u8]) -> bool {
-        // Single-key RMW under the stripe lock.
-        let read_ok = self.read_touch(key);
-        read_ok && self.update_field(key, field, value)
+        // Single-key RMW: one stripe-lock acquisition covers both halves,
+        // so no concurrent writer can interleave between the read and the
+        // update.
+        let _g = self.stripe(key).lock();
+        self.read_touch_locked(key) && self.update_field_locked(key, field, value)
     }
 
     /// Remove a record.
     pub fn remove(&self, key: &str) -> bool {
         let _g = self.stripe(key).lock();
+        self.metrics.writes.fetch_add(1, Ordering::Relaxed);
         if self.cache_enabled {
             self.cache.remove(&key.to_string());
         }
@@ -337,6 +349,104 @@ mod tests {
         }
         let v = u64::from_le_bytes(g.read("k").unwrap().fields[0].1[..8].try_into().unwrap());
         assert_eq!(v, 800);
+    }
+
+    /// A backend that detects a writer interleaving between the read and
+    /// the update halves of [`DataGrid::rmw`]: every mutation bumps a
+    /// version; `read_touch` remembers the version its thread saw, and
+    /// `update_field` flags the rmw as torn when the version moved in
+    /// between. With rmw holding the stripe lock across both halves no
+    /// interleave is possible.
+    #[derive(Default)]
+    struct VersionedBackend {
+        version: AtomicU64,
+        seen: Mutex<std::collections::HashMap<std::thread::ThreadId, u64>>,
+        torn: AtomicU64,
+    }
+
+    impl crate::backend::Backend for VersionedBackend {
+        fn name(&self) -> &'static str {
+            "versioned"
+        }
+        fn store_full(&self, _rec: &Record) -> bool {
+            self.version.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+        fn read(&self, key: &str) -> Option<Record> {
+            Some(Record::ycsb(key, &[b"v".to_vec()]))
+        }
+        fn read_touch(&self, _key: &str) -> bool {
+            let v = self.version.load(Ordering::SeqCst);
+            self.seen.lock().insert(std::thread::current().id(), v);
+            // Widen the rmw window so an unlocked gap is actually hit.
+            std::thread::yield_now();
+            true
+        }
+        fn update_field(&self, _key: &str, _field: usize, _value: &[u8]) -> bool {
+            let seen = self.seen.lock().remove(&std::thread::current().id());
+            let now = self.version.fetch_add(1, Ordering::SeqCst);
+            if let Some(seen) = seen {
+                if now != seen {
+                    self.torn.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            true
+        }
+        fn remove(&self, _key: &str) -> bool {
+            self.version.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+        fn len(&self) -> usize {
+            1
+        }
+        fn prefers_field_updates(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn rmw_holds_stripe_lock_across_read_and_update() {
+        let be = Arc::new(VersionedBackend::default());
+        let g = Arc::new(DataGrid::new(
+            Arc::clone(&be) as Arc<dyn Backend>,
+            GridConfig {
+                cache_capacity: 0,
+                ..GridConfig::default()
+            },
+        ));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        if (t + i) % 2 == 0 {
+                            assert!(g.rmw("k", 0, b"x"));
+                        } else {
+                            // The competing writer that used to slip into
+                            // rmw's unlocked gap.
+                            assert!(g.update_field("k", 0, b"y"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            be.torn.load(Ordering::SeqCst),
+            0,
+            "a writer interleaved between rmw's read and update"
+        );
+    }
+
+    #[test]
+    fn remove_counts_as_write() {
+        let g = volatile_grid(0);
+        g.insert(&Record::ycsb("k", &[b"v".to_vec()]));
+        let before = g.metrics().writes.load(Ordering::Relaxed);
+        g.remove("k");
+        assert_eq!(g.metrics().writes.load(Ordering::Relaxed), before + 1);
     }
 
     impl DataGrid {

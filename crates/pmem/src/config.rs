@@ -135,6 +135,54 @@ impl PmemConfig {
     }
 }
 
+/// What the crash-point injection engine does once armed
+/// (see [`crate::Pmem::arm_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Count (and trace) persistence-relevant operations without crashing.
+    /// Used by sweep drivers to learn how many crash points a workload has.
+    Count,
+    /// Simulate a power failure immediately **before** the Nth (0-based)
+    /// counted operation executes, then unwind the workload with a
+    /// [`crate::CrashInjected`] panic.
+    CrashAt(u64),
+}
+
+/// A crash-point injection plan: when to crash and what the simulated
+/// power failure does to unflushed cache lines.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Count only, or crash before the Nth operation.
+    pub mode: FaultMode,
+    /// Line-survival policy applied by the injected crash.
+    pub policy: CrashPolicy,
+}
+
+impl FaultPlan {
+    /// Count and trace operations; never crash.
+    pub const fn count() -> Self {
+        FaultPlan {
+            mode: FaultMode::Count,
+            policy: CrashPolicy::strict(),
+        }
+    }
+
+    /// Crash with [`CrashPolicy::strict`] before the Nth (0-based)
+    /// persistence-relevant operation.
+    pub const fn crash_at(n: u64) -> Self {
+        FaultPlan {
+            mode: FaultMode::CrashAt(n),
+            policy: CrashPolicy::strict(),
+        }
+    }
+
+    /// Replace the injected crash's line-survival policy.
+    pub const fn with_policy(mut self, policy: CrashPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
 /// What happens to not-yet-persisted cache lines when the power fails.
 #[derive(Debug, Clone, Copy)]
 pub struct CrashPolicy {

@@ -10,6 +10,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::config::{CrashPolicy, LatencyProfile, PmemConfig, SimMode};
 use crate::error::PmemError;
+use crate::inject::{FaultOp, Injector};
 use crate::latency::spin_ns;
 use crate::stats::{PmemStats, StatsSnapshot};
 
@@ -48,6 +49,7 @@ pub struct Pmem {
     latency: LatencyProfile,
     latency_on: bool,
     stats: PmemStats,
+    injector: Injector,
 }
 
 fn zeroed_words(n: usize) -> Box<[AtomicU64]> {
@@ -83,6 +85,7 @@ impl Pmem {
             latency_on: !cfg.latency.is_off(),
             latency: cfg.latency,
             stats: PmemStats::default(),
+            injector: Injector::default(),
         })
     }
 
@@ -111,9 +114,19 @@ impl Pmem {
         self.stats.reset()
     }
 
+    /// Crash-point injection state (see `inject.rs`).
+    pub(crate) fn injector(&self) -> &Injector {
+        &self.injector
+    }
+
+    /// Bump the injected-crash counter (called by the engine only).
+    pub(crate) fn record_injected_crash(&self) {
+        self.stats.injected_crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
     #[inline]
     fn check(&self, addr: u64, len: u64) {
-        if addr.checked_add(len).map_or(true, |end| end > self.size) {
+        if addr.checked_add(len).is_none_or(|end| end > self.size) {
             panic!(
                 "pmem access out of bounds: addr={addr:#x} len={len} size={}",
                 self.size
@@ -212,6 +225,9 @@ impl Pmem {
     #[inline]
     fn write_uint(&self, addr: u64, len: u64, v: u64) {
         self.check(addr, len);
+        if self.fault_point(FaultOp::Write, addr) {
+            return;
+        }
         self.charge_write(addr, len);
         self.mark_dirty(addr, len);
         let widx = (addr / 8) as usize;
@@ -336,7 +352,7 @@ impl Pmem {
         let mut i = 0usize;
         let mut a = addr;
         // Head: bytes up to the next word boundary.
-        while i < out.len() && a % 8 != 0 {
+        while i < out.len() && !a.is_multiple_of(8) {
             out[i] = (self.load_word((a / 8) as usize) >> ((a % 8) * 8)) as u8;
             i += 1;
             a += 1;
@@ -360,11 +376,14 @@ impl Pmem {
     pub fn write_bytes(&self, addr: u64, data: &[u8]) {
         let len = data.len() as u64;
         self.check(addr, len);
+        if self.fault_point(FaultOp::WriteBytes, addr) {
+            return;
+        }
         self.charge_write(addr, len);
         self.mark_dirty(addr, len);
         let mut i = 0usize;
         let mut a = addr;
-        while i < data.len() && a % 8 != 0 {
+        while i < data.len() && !a.is_multiple_of(8) {
             let widx = (a / 8) as usize;
             let shift = (a % 8) * 8;
             let old = self.load_word(widx);
@@ -392,11 +411,14 @@ impl Pmem {
     /// Zero `len` bytes starting at `addr`.
     pub fn zero_range(&self, addr: u64, len: u64) {
         self.check(addr, len);
+        if self.fault_point(FaultOp::Zero, addr) {
+            return;
+        }
         self.charge_write(addr, len);
         self.mark_dirty(addr, len);
         let mut a = addr;
         let end = addr + len;
-        while a < end && a % 8 != 0 {
+        while a < end && !a.is_multiple_of(8) {
             let widx = (a / 8) as usize;
             let shift = (a % 8) * 8;
             let old = self.load_word(widx);
@@ -427,8 +449,12 @@ impl Pmem {
     ///
     /// Panics if `addr` is not 8-byte aligned or out of bounds.
     pub fn fetch_add_u64(&self, addr: u64, delta: u64) -> u64 {
-        assert!(addr % 8 == 0, "fetch_add_u64 requires 8-byte alignment");
+        assert!(addr.is_multiple_of(8), "fetch_add_u64 requires 8-byte alignment");
         self.check(addr, 8);
+        if self.fault_point(FaultOp::FetchAdd, addr) {
+            // Frozen: report the current value without mutating.
+            return self.load_word((addr / 8) as usize);
+        }
         self.charge_write(addr, 8);
         self.mark_dirty(addr, 8);
         self.words[(addr / 8) as usize].fetch_add(delta, Ordering::AcqRel)
@@ -442,8 +468,12 @@ impl Pmem {
     ///
     /// Panics if `addr` is not 8-byte aligned or out of bounds.
     pub fn cas_u64(&self, addr: u64, current: u64, new: u64) -> Result<u64, u64> {
-        assert!(addr % 8 == 0, "cas_u64 requires 8-byte alignment");
+        assert!(addr.is_multiple_of(8), "cas_u64 requires 8-byte alignment");
         self.check(addr, 8);
+        if self.fault_point(FaultOp::Cas, addr) {
+            // Frozen: fail the swap, reporting the current value.
+            return Err(self.load_word((addr / 8) as usize));
+        }
         self.charge_write(addr, 8);
         self.mark_dirty(addr, 8);
         self.words[(addr / 8) as usize].compare_exchange(
@@ -463,6 +493,9 @@ impl Pmem {
     /// subsequent [`Pmem::pfence`] or [`Pmem::psync`].
     pub fn pwb(&self, addr: u64) {
         self.check(addr, 1);
+        if self.fault_point(FaultOp::Pwb, addr) {
+            return;
+        }
         self.stats.pwbs.fetch_add(1, Ordering::Relaxed);
         if self.latency_on {
             spin_ns(self.latency.pwb_ns);
@@ -525,6 +558,9 @@ impl Pmem {
     /// ADR model the paper assumes, a fenced `pwb` is durable; the simulator
     /// therefore drains the write-pending queue to media here.
     pub fn pfence(&self) {
+        if self.fault_point(FaultOp::Pfence, 0) {
+            return;
+        }
         self.stats.pfences.fetch_add(1, Ordering::Relaxed);
         if self.latency_on {
             spin_ns(self.latency.pfence_ns);
@@ -538,6 +574,9 @@ impl Pmem {
     /// queue to reach media. Identical to `pfence` in the simulator (the
     /// paper implements both with `sfence` on its Intel testbed).
     pub fn psync(&self) {
+        if self.fault_point(FaultOp::Psync, 0) {
+            return;
+        }
         self.stats.psyncs.fetch_add(1, Ordering::Relaxed);
         if self.latency_on {
             spin_ns(self.latency.psync_ns);
@@ -611,7 +650,7 @@ impl Pmem {
     /// the cache. Test-support API; falls back to the cache view on
     /// `Performance` pools.
     pub fn media_read_u64(&self, addr: u64) -> u64 {
-        assert!(addr % 8 == 0, "media_read_u64 requires 8-byte alignment");
+        assert!(addr.is_multiple_of(8), "media_read_u64 requires 8-byte alignment");
         self.check(addr, 8);
         match &self.sim {
             Some(sim) => sim.media[(addr / 8) as usize].load(Ordering::Acquire),
@@ -785,7 +824,7 @@ mod tests {
         assert_eq!(a, b);
         // With p=0.5 over 100 lines, some but not all survive.
         assert!(a.iter().any(|v| *v != 0));
-        assert!(a.iter().any(|v| *v == 0));
+        assert!(a.contains(&0));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 mod config;
 mod device;
+mod inject;
 #[cfg(test)]
 mod proptests;
 mod error;
@@ -41,8 +42,9 @@ mod image;
 mod latency;
 mod stats;
 
-pub use config::{CrashPolicy, LatencyProfile, PmemConfig, SimMode};
+pub use config::{CrashPolicy, FaultMode, FaultPlan, LatencyProfile, PmemConfig, SimMode};
 pub use device::{Pmem, CACHE_LINE};
 pub use error::PmemError;
+pub use inject::{catch_crash, silence_crash_panics, CrashInjected, FaultOp, TraceRecord};
 pub use latency::spin_ns;
 pub use stats::{PmemStats, StatsSnapshot};

@@ -13,6 +13,7 @@ pub struct PmemStats {
     pub(crate) pfences: AtomicU64,
     pub(crate) psyncs: AtomicU64,
     pub(crate) crashes: AtomicU64,
+    pub(crate) injected_crashes: AtomicU64,
 }
 
 impl PmemStats {
@@ -37,6 +38,7 @@ impl PmemStats {
             pfences: self.pfences.load(Ordering::Relaxed),
             psyncs: self.psyncs.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
+            injected_crashes: self.injected_crashes.load(Ordering::Relaxed),
         }
     }
 
@@ -50,6 +52,7 @@ impl PmemStats {
         self.pfences.store(0, Ordering::Relaxed);
         self.psyncs.store(0, Ordering::Relaxed);
         self.crashes.store(0, Ordering::Relaxed);
+        self.injected_crashes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -72,20 +75,52 @@ pub struct StatsSnapshot {
     pub psyncs: u64,
     /// Simulated power failures.
     pub crashes: u64,
+    /// Power failures triggered by the crash-point injection engine
+    /// (a subset of `crashes`).
+    pub injected_crashes: u64,
 }
 
 impl StatsSnapshot {
     /// Counter-wise difference `self - earlier`, for measuring an interval.
+    ///
+    /// Saturating: if [`crate::Pmem::reset_stats`] ran between the two
+    /// snapshots, `earlier` may exceed `self`; the difference clamps to 0
+    /// instead of panicking in debug builds / wrapping in release builds.
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            pwbs: self.pwbs - earlier.pwbs,
-            pfences: self.pfences - earlier.pfences,
-            psyncs: self.psyncs - earlier.psyncs,
-            crashes: self.crashes - earlier.crashes,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            pwbs: self.pwbs.saturating_sub(earlier.pwbs),
+            pfences: self.pfences.saturating_sub(earlier.pfences),
+            psyncs: self.psyncs.saturating_sub(earlier.psyncs),
+            crashes: self.crashes.saturating_sub(earlier.crashes),
+            injected_crashes: self.injected_crashes.saturating_sub(earlier.injected_crashes),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_saturates_after_reset() {
+        let before = StatsSnapshot {
+            reads: 10,
+            writes: 10,
+            ..StatsSnapshot::default()
+        };
+        let after = StatsSnapshot {
+            reads: 3,
+            writes: 0,
+            pwbs: 5,
+            ..StatsSnapshot::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.pwbs, 5);
     }
 }

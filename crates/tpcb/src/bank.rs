@@ -75,6 +75,10 @@ pub trait Bank: Send + Sync {
     fn total(&self) -> i64;
     /// Number of accounts.
     fn len(&self) -> u64;
+    /// Whether the bank holds no accounts.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 const STRIPES: usize = 256;

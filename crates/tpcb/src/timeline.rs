@@ -101,6 +101,7 @@ pub struct TimelineReport {
     pub money_conserved: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive(
     bank: &Arc<dyn Bank>,
     accounts: u64,
@@ -108,7 +109,7 @@ fn drive(
     duration: Duration,
     start: Instant,
     bucket: Duration,
-    buckets: &Vec<AtomicU64>,
+    buckets: &[AtomicU64],
     seed: u64,
 ) {
     let stop = AtomicBool::new(false);
@@ -116,7 +117,7 @@ fn drive(
         for t in 0..threads {
             let bank = Arc::clone(bank);
             let stop = &stop;
-            let buckets = &buckets[..];
+            let buckets = &*buckets;
             s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(seed ^ t as u64);
                 while !stop.load(Ordering::Relaxed) {

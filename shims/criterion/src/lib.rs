@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId` —
+//! over a simple wall-clock runner: per sample, the iteration count is
+//! calibrated to ~5 ms of work, and the mean ns/iter of the best half of
+//! samples is reported. No statistical analysis, plots, or baselines; the
+//! numbers are indicative, which is all the simulated device warrants.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            _name: (),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.sample_size, &id.into(), f);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: (),
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.criterion.sample_size, &id.into(), f);
+        self
+    }
+
+    /// Time `f(bencher, input)` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.criterion.sample_size, &id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; the shim prints as
+    /// it goes).
+    pub fn finish(&mut self) {}
+}
+
+/// A `function / parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label with a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_sample: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, preventing its result from being optimized out.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes ~target_sample.
+        self.iters_per_sample = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target_sample || self.iters_per_sample >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed < self.target_sample / 16 { 16 } else { 2 };
+            self.iters_per_sample = self.iters_per_sample.saturating_mul(grow);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(sample_size: usize, id: &BenchmarkId, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        target_sample: Duration::from_millis(5),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{:<40} (no measurement: Bencher::iter never called)", id.label);
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    // Mean of the faster half: robust against scheduler noise without
+    // criterion's full outlier analysis.
+    let half = &per_iter[..per_iter.len().div_ceil(2)];
+    let mean = half.iter().sum::<f64>() / half.len() as f64;
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "{:<40} {:>12.1} ns/iter (median {:.1}, {} iters x {} samples)",
+        id.label, mean, median, b.iters_per_sample, b.samples.len()
+    );
+}
+
+/// Declare a benchmark group; both the positional and the
+/// `name/config/targets` forms of upstream are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim-selftest");
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, n| {
+            b.iter(|| black_box(*n) * 3)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = selftest;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        selftest();
+    }
+}

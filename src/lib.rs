@@ -5,6 +5,7 @@
 //! for the architecture overview and `DESIGN.md` for the system inventory.
 
 pub use jnvm;
+pub use jnvm_faultsim as faultsim;
 pub use jnvm_gcsim as gcsim;
 pub use jnvm_heap as heap;
 pub use jnvm_jpdt as jpdt;

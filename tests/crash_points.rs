@@ -1,0 +1,400 @@
+//! Exhaustive crash-point sweeps over the persistence-relevant op stream.
+//!
+//! Where `tests/crash_recovery.rs` crashes at *random* moments with
+//! adversarial line eviction, these tests use the `jnvm-pmem` injection
+//! engine (`FaultPlan` / `CrashAt`) plus the `jnvm-faultsim` sweep driver
+//! to crash at **every** persistence-relevant operation (store, `pwb`,
+//! `pfence`, `psync`) of three canonical workloads:
+//!
+//! 1. the failure-atomic pair transfer (the §4.2 redo-log commit sequence),
+//! 2. a `JnvmBackend` insert + read-modify-write through the `DataGrid`,
+//! 3. redo-log recovery itself — a crash *during replay* must leave a state
+//!    from which a second recovery still reaches the committed image.
+//!
+//! After each injected crash the pool is re-opened and the workload's
+//! atomicity/durability contract is asserted, including a block-leak check
+//! against crash-free baselines.
+
+use std::sync::Arc;
+
+use jnvm_repro::faultsim;
+use jnvm_repro::heap::HeapConfig;
+use jnvm_repro::jnvm::{commit_phase, persistent_class, Jnvm, JnvmBuilder, RecoveryReport};
+use jnvm_repro::jpdt::register_jpdt;
+use jnvm_repro::kvstore::{
+    register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend, Record,
+};
+use jnvm_repro::pmem::{catch_crash, CrashPolicy, FaultPlan, Pmem, PmemConfig};
+
+use proptest::prelude::*;
+
+persistent_class! {
+    pub class Pair {
+        val left, set_left: i64;
+        val right, set_right: i64;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload 1: the failure-atomic pair transfer (§4.2 commit sequence).
+// ---------------------------------------------------------------------------
+
+struct FaCtx {
+    rt: Jnvm,
+    p: Pair,
+}
+
+fn reopen_pair(pmem: &Arc<Pmem>) -> (Jnvm, RecoveryReport) {
+    register_jpdt(JnvmBuilder::new())
+        .register::<Pair>()
+        .open(Arc::clone(pmem))
+        .expect("recovery")
+}
+
+/// Fresh pool with a published pair at (1500, 500). A warm-up transfer has
+/// already run, so the redo log and the in-flight block pool are in steady
+/// state: every sweep instance of the workload performs the identical op
+/// stream and allocation pattern.
+fn fa_setup() -> (Arc<Pmem>, FaCtx) {
+    let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+    let rt = register_jpdt(JnvmBuilder::new())
+        .register::<Pair>()
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .expect("pool");
+    let p = rt.fa(|| {
+        let p = Pair::alloc_uninit(&rt);
+        p.set_left(1600);
+        p.set_right(400);
+        rt.root_put("pair", &p).expect("root");
+        p
+    });
+    rt.fa(|| {
+        p.set_left(p.left() - 100);
+        p.set_right(p.right() + 100);
+    });
+    pmem.psync();
+    (pmem, FaCtx { rt, p })
+}
+
+/// The region under test: one failure-atomic 100-unit transfer,
+/// (1500, 500) -> (1400, 600).
+fn fa_workload(ctx: &FaCtx) {
+    ctx.rt.fa(|| {
+        ctx.p.set_left(ctx.p.left() - 100);
+        ctx.p.set_right(ctx.p.right() + 100);
+    });
+}
+
+/// Crash-free reference images: `(left, right, live_blocks)` recovered when
+/// the power fails (strict policy: every unflushed line lost) right after
+/// `setup`, and right after a completed workload.
+fn fa_baselines() -> ((i64, i64, u64), (i64, i64, u64)) {
+    let observe = |run_workload: bool| {
+        let (pmem, ctx) = fa_setup();
+        if run_workload {
+            fa_workload(&ctx);
+        }
+        drop(ctx);
+        pmem.crash(&CrashPolicy::strict()).expect("crash");
+        let (rt, report) = reopen_pair(&pmem);
+        let p = rt
+            .root_get_as::<Pair>("pair")
+            .expect("typed")
+            .expect("pair survived");
+        (p.left(), p.right(), report.live_blocks)
+    };
+    (observe(false), observe(true))
+}
+
+fn fa_verify(pre: (i64, i64, u64), post: (i64, i64, u64), pmem: &Arc<Pmem>, point: u64) {
+    let (rt, report) = reopen_pair(pmem);
+    let p = rt
+        .root_get_as::<Pair>("pair")
+        .expect("typed")
+        .expect("pair survived crash");
+    let state = (p.left(), p.right());
+    assert_eq!(
+        p.left() + p.right(),
+        2000,
+        "crash point {point}: transfer was torn: {state:?}"
+    );
+    let expected_blocks = if state == (pre.0, pre.1) {
+        pre.2
+    } else if state == (post.0, post.1) {
+        post.2
+    } else {
+        panic!("crash point {point}: impossible recovered state {state:?}");
+    };
+    assert_eq!(
+        report.live_blocks, expected_blocks,
+        "crash point {point}: leaked or lost blocks (state {state:?})"
+    );
+}
+
+/// Acceptance sweep: every crash point of the FA pair transfer preserves
+/// the sum, recovers to exactly the old or the new state, and leaks no
+/// in-flight blocks.
+#[test]
+fn fa_transfer_survives_every_crash_point() {
+    let (pre, post) = fa_baselines();
+    assert_eq!((pre.0, pre.1), (1500, 500));
+    assert_eq!((post.0, post.1), (1400, 600));
+    let summary = faultsim::sweep_all(
+        FaultPlan::count(),
+        fa_setup,
+        fa_workload,
+        |pmem, report| fa_verify(pre, post, pmem, report.point),
+    );
+    assert!(summary.points_crashed > 0, "workload performed no ops");
+}
+
+// ---------------------------------------------------------------------------
+// Workload 3 (depends on workload 1's machinery): crash during recovery
+// replay. Recovery must be idempotent — power can fail while the redo log
+// is being replayed, and the *next* recovery still reaches the committed
+// image.
+// ---------------------------------------------------------------------------
+
+/// Find the first crash point of the FA transfer whose crash lands after
+/// the commit point (the log is durable but not yet applied): the state a
+/// replaying recovery starts from.
+fn first_committed_unapplied_point() -> u64 {
+    let total = faultsim::count_ops(fa_setup, fa_workload);
+    for i in 0..total {
+        let (pmem, ctx) = fa_setup();
+        pmem.arm_faults(FaultPlan::crash_at(i));
+        let outcome = catch_crash(|| fa_workload(&ctx));
+        drop(ctx);
+        pmem.disarm_faults();
+        if outcome.is_err() && commit_phase().is_committed() {
+            return i;
+        }
+    }
+    panic!("no crash point lands between commit and apply");
+}
+
+/// Build the committed-but-unapplied image deterministically.
+fn replay_setup(point: u64) -> (Arc<Pmem>, Arc<Pmem>) {
+    let (pmem, ctx) = fa_setup();
+    pmem.arm_faults(FaultPlan::crash_at(point));
+    let outcome = catch_crash(|| fa_workload(&ctx));
+    drop(ctx);
+    pmem.disarm_faults();
+    assert!(outcome.is_err(), "expected an injected crash at {point}");
+    assert!(commit_phase().is_committed());
+    (Arc::clone(&pmem), pmem)
+}
+
+#[test]
+fn recovery_replay_survives_every_crash_point() {
+    let (_, post) = fa_baselines();
+    let seed_point = first_committed_unapplied_point();
+    let summary = faultsim::sweep_all(
+        FaultPlan::count(),
+        || replay_setup(seed_point),
+        |pmem| {
+            // The workload under injection is recovery itself.
+            let _ = reopen_pair(pmem);
+        },
+        |pmem, report| {
+            // Second recovery after a torn first recovery: replay must be
+            // idempotent, always reaching the committed (1400, 600) image.
+            let (rt, rep) = reopen_pair(pmem);
+            let p = rt
+                .root_get_as::<Pair>("pair")
+                .expect("typed")
+                .expect("pair survived replay crash");
+            assert_eq!(
+                (p.left(), p.right()),
+                (1400, 600),
+                "replay crash point {}: committed transfer lost or torn",
+                report.point
+            );
+            assert_eq!(
+                rep.live_blocks, post.2,
+                "replay crash point {}: leaked blocks",
+                report.point
+            );
+        },
+    );
+    assert!(summary.points_crashed > 0, "recovery performed no ops");
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: JnvmBackend (J-PFA flavour) insert + RMW through the
+// DataGrid.
+// ---------------------------------------------------------------------------
+
+struct GridCtx {
+    _rt: Jnvm,
+    grid: DataGrid,
+}
+
+const K1_OLD: &[u8] = b"aaaa";
+const K1_NEW: &[u8] = b"AAAA";
+
+fn grid_setup() -> (Arc<Pmem>, GridCtx) {
+    let pmem = Pmem::new(PmemConfig::crash_sim(4 << 20));
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .expect("pool");
+    let be = JnvmBackend::create(&rt, 1, true).expect("backend");
+    let grid = DataGrid::new(
+        Arc::new(be),
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    );
+    assert!(grid.insert(&Record::ycsb("k1", &[K1_OLD.to_vec(), b"bbbb".to_vec()])));
+    pmem.psync();
+    (pmem, GridCtx { _rt: rt, grid })
+}
+
+/// Insert a second record, then RMW the first record's field 0. The new
+/// value has the same length as the old one so every recovered state has
+/// the same per-record block count.
+fn grid_workload(ctx: &GridCtx) {
+    ctx.grid
+        .insert(&Record::ycsb("k2", &[b"cccc".to_vec(), b"dddd".to_vec()]));
+    ctx.grid.rmw("k1", 0, K1_NEW);
+}
+
+fn grid_reopen(pmem: &Arc<Pmem>) -> (JnvmBackend, RecoveryReport) {
+    let (rt, report) = register_kvstore(JnvmBuilder::new())
+        .open(Arc::clone(pmem))
+        .expect("recovery");
+    let be = JnvmBackend::open(&rt, true).expect("backend");
+    (be, report)
+}
+
+/// `(live_blocks before k2 exists, live_blocks after the full workload)`.
+fn grid_baselines() -> (u64, u64) {
+    let observe = |run_workload: bool| {
+        let (pmem, ctx) = grid_setup();
+        if run_workload {
+            grid_workload(&ctx);
+        }
+        drop(ctx);
+        pmem.crash(&CrashPolicy::strict()).expect("crash");
+        grid_reopen(&pmem).1.live_blocks
+    };
+    (observe(false), observe(true))
+}
+
+fn grid_verify(blocks_pre: u64, blocks_post: u64, pmem: &Arc<Pmem>, point: u64) {
+    let (be, report) = grid_reopen(pmem);
+    let k1 = be.read("k1").expect("k1 lost");
+    let f0 = &k1.fields[0].1;
+    assert!(
+        f0 == K1_OLD || f0 == K1_NEW,
+        "crash point {point}: k1 field0 torn: {f0:?}"
+    );
+    assert_eq!(
+        k1.fields[1].1, b"bbbb",
+        "crash point {point}: k1 field1 damaged by unrelated crash"
+    );
+    let k2 = be.read("k2");
+    match &k2 {
+        None => {}
+        Some(rec) => {
+            // All-or-nothing: a recovered k2 is the complete record.
+            assert_eq!(rec.fields[0].1, b"cccc", "crash point {point}: k2 torn");
+            assert_eq!(rec.fields[1].1, b"dddd", "crash point {point}: k2 torn");
+        }
+    }
+    // Program order: the RMW ran after the insert committed, so a new k1
+    // value implies k2 is present.
+    if f0 == K1_NEW {
+        assert!(
+            k2.is_some(),
+            "crash point {point}: rmw applied but earlier insert lost"
+        );
+    }
+    let expected_blocks = if k2.is_some() { blocks_post } else { blocks_pre };
+    assert_eq!(
+        report.live_blocks, expected_blocks,
+        "crash point {point}: leaked or lost blocks (k2 present: {})",
+        k2.is_some()
+    );
+}
+
+/// Default sweep: a representative stride over the grid workload's crash
+/// points (the exhaustive version runs behind `--ignored`).
+#[test]
+fn grid_insert_rmw_survives_strided_crash_points() {
+    let (blocks_pre, blocks_post) = grid_baselines();
+    let total = faultsim::count_ops(grid_setup, grid_workload);
+    let points = faultsim::strided_points(total, 48);
+    let summary = faultsim::sweep(
+        points,
+        FaultPlan::count(),
+        grid_setup,
+        grid_workload,
+        |pmem, report| grid_verify(blocks_pre, blocks_post, pmem, report.point),
+    );
+    assert!(summary.points_crashed > 0);
+    assert_eq!(summary.points_completed, 0);
+}
+
+/// Exhaustive version of the grid sweep: every crash point. Slow; run with
+/// `cargo test -- --ignored`.
+#[test]
+#[ignore = "exhaustive sweep; run with --ignored"]
+fn grid_insert_rmw_survives_every_crash_point() {
+    let (blocks_pre, blocks_post) = grid_baselines();
+    let summary = faultsim::sweep_all(
+        FaultPlan::count(),
+        grid_setup,
+        grid_workload,
+        |pmem, report| grid_verify(blocks_pre, blocks_post, pmem, report.point),
+    );
+    assert!(summary.points_crashed > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized satellite: random transfer count, random crash point — the
+// sum invariant must hold wherever the power fails.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fa_random_workload_random_crash_point(
+        transfers in 1usize..4,
+        point_sel in 0u64..1_000_000,
+    ) {
+        let setup = fa_setup;
+        let workload = |ctx: &FaCtx| {
+            for _ in 0..transfers {
+                fa_workload(ctx);
+            }
+        };
+        let total = faultsim::count_ops(setup, workload);
+        let point = point_sel % total;
+        let summary = faultsim::sweep(
+            [point],
+            FaultPlan::count(),
+            setup,
+            workload,
+            |pmem, report| {
+                let (rt, _) = reopen_pair(pmem);
+                let p = rt
+                    .root_get_as::<Pair>("pair")
+                    .expect("typed")
+                    .expect("pair survived");
+                let (l, r) = (p.left(), p.right());
+                assert_eq!(l + r, 2000, "crash point {}: torn transfer", report.point);
+                // Transfers apply in order: the recovered left value is the
+                // starting 1500 minus 100 per fully-applied transfer.
+                assert!(
+                    (0..=transfers as i64).any(|k| l == 1500 - 100 * k),
+                    "crash point {}: impossible state ({l}, {r})",
+                    report.point
+                );
+            },
+        );
+        prop_assert_eq!(summary.points_crashed, 1);
+    }
+}
