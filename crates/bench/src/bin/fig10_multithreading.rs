@@ -6,12 +6,72 @@
 //!
 //! Flags: `--records` (default 10000 = paper 1M / 100), `--ops` (default
 //! 200000), `--threads 1,2,4,8,12,16,20`, `--out results`.
+//!
+//! `--crashsim` runs a small multi-threaded sanity pass on a CrashSim pool
+//! instead: the YCSB-A mix over J-PDT, a simulated power failure, and a
+//! recovery check. Throughput numbers from that mode are meaningless (the
+//! crash simulator tracks per-line persistence state); it exists so the
+//! bench workload itself is exercised under the durability checker.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use jnvm_bench::{make_grid, write_csv, Args, BackendKind, GridClient, Table};
 use jnvm_ycsb::{run_load, run_workload, Workload};
+
+/// `--crashsim`: drive the multi-threaded YCSB-A mix against a J-PDT grid
+/// on a crash-simulating device, pull the plug, and recover.
+fn crashsim_sanity(records: u64, ops: u64, threads: usize) {
+    use jnvm::JnvmBuilder;
+    use jnvm_heap::HeapConfig;
+    use jnvm_kvstore::{register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend};
+    use jnvm_pmem::{CrashPolicy, Pmem, PmemConfig};
+
+    println!(
+        "crashsim sanity: {records} records, {ops} YCSB-A ops, {threads} thread(s) \
+         on a crash-simulating pool"
+    );
+    let pmem = Pmem::new(PmemConfig::crash_sim(256 << 20));
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .expect("pool creation");
+    let be = Arc::new(JnvmBackend::create(&rt, 64, false).expect("backend"));
+    let grid = Arc::new(DataGrid::new(
+        Arc::clone(&be) as Arc<dyn Backend>,
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    ));
+    let mut spec = Workload::A.spec(records, ops);
+    spec.threads = threads;
+    run_load(&spec, |_| GridClient::new(Arc::clone(&grid)));
+    let report = run_workload(&spec, |_| GridClient::new(Arc::clone(&grid)));
+    println!(
+        "workload done ({} ops; throughput under the checker is not meaningful)",
+        report.total.count()
+    );
+    pmem.psync();
+    drop(grid);
+    drop(be);
+    drop(rt);
+    pmem.crash(&CrashPolicy::strict()).expect("simulated power failure");
+    let (rt2, recovery) = register_kvstore(JnvmBuilder::new())
+        .open(Arc::clone(&pmem))
+        .expect("recovery");
+    let be2 = JnvmBackend::open(&rt2, false).expect("backend reopen");
+    assert_eq!(
+        be2.len() as u64,
+        records,
+        "record count changed across the crash (YCSB-A never inserts or removes)"
+    );
+    println!(
+        "recovered: {} records, {} live blocks, {} nullified refs — OK",
+        be2.len(),
+        recovery.live_blocks,
+        recovery.nullified_refs
+    );
+}
 
 fn main() {
     let args = Args::parse();
@@ -24,6 +84,11 @@ fn main() {
         .collect();
     let out: PathBuf = PathBuf::from(args.get_or("out", "results".to_string()));
     let optane = !args.has("no-latency");
+    if args.has("crashsim") {
+        let t = threads.iter().copied().max().unwrap_or(4).min(8);
+        crashsim_sanity(records.min(2_000), ops.min(20_000), t);
+        return;
+    }
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(

@@ -31,9 +31,9 @@ use crate::proxy::{Proxy, RawChain};
 use crate::registry::CLASS_ID_FALOG;
 use crate::runtime::{Jnvm, JnvmRuntime};
 
-/// Capacity of the log directory: the maximum number of redo logs ever
-/// created, which bounds the number of threads concurrently inside
-/// failure-atomic blocks.
+/// Initial capacity of the log directory. The directory doubles on demand
+/// (see `grow_dir`), so this no longer bounds how many threads may enter
+/// failure-atomic blocks over the pool's lifetime.
 const DIR_CAPACITY: u64 = 64;
 
 /// Initial log capacity in entries; logs grow on demand.
@@ -104,12 +104,11 @@ impl FaManager {
         rt.pmem().pfence();
 
         let mut cursor = self.dir_cursor.lock();
-        let dir = Proxy::open(rt, rt.heap().root_slot(2));
+        let mut dir = Proxy::open(rt, rt.heap().root_slot(2));
         let cap = dir.read_u64(0);
-        assert!(
-            *cursor < cap,
-            "failure-atomic log directory full ({cap} slots): too many threads"
-        );
+        if *cursor >= cap {
+            grow_dir(rt, &mut dir, cap);
+        }
         dir.write_u64(8 + *cursor * 8, log.addr());
         dir.pwb_field(8 + *cursor * 8, 8);
         rt.pmem().pfence();
@@ -155,6 +154,35 @@ impl FaManager {
         pmem.pfence();
         (replayed, abandoned)
     }
+}
+
+/// Double the log directory's slot count (caller holds the `dir_cursor`
+/// lock). Used to be a hard panic — "directory full: too many threads" —
+/// which a long-lived pool with thread churn eventually hit, since
+/// directory slots are never reclaimed while their log lives.
+///
+/// Crash-safe ordering: the extension blocks are linked and the fresh
+/// slot range is zeroed and **fenced before** the enlarged capacity is
+/// published at offset 0. A crash mid-growth therefore leaves either the
+/// old capacity (extension invisible to recovery) or the new capacity
+/// over all-null slots — never uninitialized slots that `recover_logs`
+/// would chase as log addresses.
+fn grow_dir(rt: &Jnvm, dir: &mut Proxy, cap: u64) {
+    let heap = rt.heap();
+    let new_cap = cap * 2;
+    let need = heap.blocks_for(8 + new_cap * 8);
+    let have = dir.block_count() as u64;
+    if need > have {
+        dir.extend(need - have)
+            .expect("persistent heap exhausted growing the fa log directory");
+    }
+    let zeros = vec![0u8; ((new_cap - cap) * 8) as usize];
+    dir.write_bytes(8 + cap * 8, &zeros);
+    dir.pwb_field(8 + cap * 8, zeros.len() as u64);
+    rt.pmem().pfence();
+    dir.write_u64(0, new_cap);
+    dir.pwb_field(0, 8);
+    rt.pmem().pfence();
 }
 
 /// Tracer for the log directory: every non-null slot references a log.
@@ -354,50 +382,59 @@ fn read_entry(rt: &JnvmRuntime, chain: &RawChain, i: u64) -> (u64, u64, u64) {
     )
 }
 
+/// Blocks a commit may hand back to the shared allocator only once its log
+/// is durably retired (see `apply_entries`).
+#[derive(Default)]
+struct DeferredReclaim {
+    /// Master addresses the block freed (`KIND_FREE`).
+    frees: Vec<u64>,
+    /// In-flight copy blocks (`KIND_WRITE` sources), by block index.
+    inflight: Vec<u64>,
+}
+
 /// Apply the first `count` entries of a log. `runtime_commit` is true when
-/// called from a live commit (in-flight blocks are recycled through the
-/// volatile free queue); false during post-crash replay (the recovery GC
-/// will reclaim them).
-fn apply_entries(rt: &Jnvm, chain: &RawChain, count: u64, runtime_commit: bool) {
+/// called from a live commit; false during post-crash replay (the recovery
+/// GC reclaims in-flight copies and freed masters there).
+///
+/// On a live commit the in-flight copies and the freed masters are **not**
+/// released here but returned for the caller to release *after* the log's
+/// committed flag is durably cleared. Releasing them earlier is a race:
+/// another thread can pop such a block from the volatile free queue and
+/// scribble on it while the log is still committed on media — a crash in
+/// that window replays the log and copies the scribbles (or re-invalidates
+/// the other thread's allocation) onto committed state.
+fn apply_entries(rt: &Jnvm, chain: &RawChain, count: u64, runtime_commit: bool) -> DeferredReclaim {
     let pmem = rt.pmem();
     let heap = rt.heap();
     let psize = heap.payload_size() as usize;
     let mut buf = vec![0u8; psize];
-    // Frees are deferred past the last entry: once a block enters the free
-    // queue another thread may reuse it, so no later Write entry of this
-    // commit may still target it.
-    let mut frees = Vec::new();
-    let mut retired_inflight = Vec::new();
+    let mut deferred = DeferredReclaim::default();
     for i in 0..count {
         let (kind, a, b) = read_entry(rt, chain, i);
         match kind {
             KIND_ALLOC => {
                 rt.set_valid_addr(a, true);
             }
-            KIND_FREE => frees.push(a),
+            KIND_FREE => deferred.frees.push(a),
             KIND_WRITE => {
                 pmem.read_bytes(b + 8, &mut buf);
                 pmem.write_bytes(a + 8, &buf);
                 pmem.pwb_range(a + 8, psize as u64);
                 if runtime_commit {
-                    retired_inflight.push(heap.block_of_addr(b));
+                    deferred.inflight.push(heap.block_of_addr(b));
                 }
             }
             other => panic!("corrupt redo log: entry kind {other}"),
         }
     }
-    for a in frees {
-        if runtime_commit {
-            rt.free_addr_now(a);
-        } else {
-            // During replay only invalidate persistently; the GC rebuilds
-            // the free queue afterwards.
+    if !runtime_commit {
+        // During replay only invalidate persistently; the GC rebuilds the
+        // free queue afterwards.
+        for a in deferred.frees.drain(..) {
             rt.set_valid_addr(a, false);
         }
     }
-    for b in retired_inflight {
-        heap.push_free(b);
-    }
+    deferred
 }
 
 impl JnvmRuntime {
@@ -516,12 +553,20 @@ fn commit_tx(rt: &Jnvm) {
     pmem.pfence();
     // 3. Apply (fence-free: a crash replays the committed log).
     set_phase(CommitPhase::Apply);
-    apply_entries(rt, &state.log.chain, state.count, true);
+    let deferred = apply_entries(rt, &state.log.chain, state.count, true);
     // 4. Retire the log before reuse.
     set_phase(CommitPhase::Retire);
     pmem.write_u64(state.log.chain.phys(LOG_COMMITTED), 0);
     pmem.pwb(state.log.chain.phys(LOG_COMMITTED));
     pmem.pfence();
+    // Only now — the retire is durable, the log can never replay again —
+    // may the blocks this commit released re-enter the shared allocator.
+    for a in deferred.frees {
+        rt.free_addr_now(a);
+    }
+    for b in deferred.inflight {
+        heap.push_free(b);
+    }
     rt.fa_manager().release_log(state.log);
     set_phase(CommitPhase::Idle);
 }
@@ -546,4 +591,149 @@ fn abort_tx(rt: &Jnvm) {
     }
     // The log was never committed; its entries are dead.
     rt.fa_manager().release_log(state.log);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JnvmBuilder;
+    use jnvm_heap::HeapConfig;
+    use jnvm_pmem::{CrashPolicy, Pmem, PmemConfig};
+
+    fn used_slots(rt: &Jnvm) -> u64 {
+        let dir = RawChain::open(rt, rt.heap().root_slot(2));
+        let cap = rt.pmem().read_u64(dir.phys(0));
+        (0..cap)
+            .filter(|s| rt.pmem().read_u64(dir.phys(8 + s * 8)) != 0)
+            .count() as u64
+    }
+
+    /// Regression: `commit_tx` used to hand in-flight copies and freed
+    /// masters back to the volatile allocator during apply, *before* the
+    /// log's committed flag was durably cleared. Another thread could then
+    /// allocate such a block and scribble on it; a crash in that window
+    /// replays the still-committed log and copies the scribbles onto
+    /// committed state (observed in the concurrent torture harness as torn
+    /// record fields and off-by-a-few block accounting).
+    ///
+    /// Single-threaded, deterministic form of the invariant: at **every**
+    /// crash point of a commit, any block referenced by a log that is
+    /// still committed on media must be unavailable to the allocator.
+    #[test]
+    fn commit_never_recycles_blocks_while_log_is_committed_on_media() {
+        use jnvm_pmem::{catch_crash, silence_crash_panics, FaultPlan};
+        silence_crash_panics();
+        let setup = || {
+            let pmem = Pmem::new(PmemConfig::crash_sim(2 << 20));
+            let rt = JnvmBuilder::new()
+                .create(Arc::clone(&pmem), HeapConfig::default())
+                .unwrap();
+            let x = Proxy::alloc(&rt, CLASS_ID_FALOG, 16);
+            x.write_u64(0, 7);
+            x.pwb();
+            x.validate();
+            let y = Proxy::alloc(&rt, CLASS_ID_FALOG, 16);
+            y.pwb();
+            y.validate();
+            pmem.psync();
+            (pmem, rt, x, y)
+        };
+        let workload = |rt: &Jnvm, x: &Proxy, y: &Proxy| {
+            rt.fa(|| {
+                x.write_u64(0, 99); // KIND_WRITE via an in-flight copy
+                rt.free_addr(y.addr()); // KIND_FREE, deferred to commit
+            });
+        };
+        let total = {
+            let (pmem, rt, x, y) = setup();
+            pmem.arm_faults(FaultPlan::count());
+            workload(&rt, &x, &y);
+            pmem.disarm_faults()
+        };
+        assert!(total > 0);
+        for point in 0..total {
+            let (pmem, rt, x, y) = setup();
+            pmem.arm_faults(FaultPlan::crash_at(point));
+            let outcome = catch_crash(|| workload(&rt, &x, &y));
+            pmem.disarm_faults();
+            if outcome.is_ok() {
+                continue;
+            }
+            pmem.resync_cache();
+            // Every block the volatile allocator would hand out right now.
+            let heap = rt.heap();
+            let mut allocatable = HashSet::new();
+            while let Ok(b) = heap.alloc_block() {
+                allocatable.insert(b);
+            }
+            // Blocks referenced by logs still committed on the media image.
+            let dir = RawChain::open(&rt, rt.heap().root_slot(2));
+            let cap = pmem.read_u64(dir.phys(0));
+            for slot in 0..cap {
+                let log_addr = pmem.read_u64(dir.phys(8 + slot * 8));
+                if log_addr == 0 {
+                    continue;
+                }
+                let chain = RawChain::open(&rt, log_addr);
+                if pmem.read_u64(chain.phys(LOG_COMMITTED)) != 1 {
+                    continue;
+                }
+                let count = pmem.read_u64(chain.phys(LOG_COUNT));
+                for i in 0..count {
+                    let (kind, a, b) = read_entry(&rt, &chain, i);
+                    if kind == KIND_WRITE {
+                        assert!(
+                            !allocatable.contains(&heap.block_of_addr(b)),
+                            "crash point {point}: in-flight block recycled \
+                             while its log is still committed on media"
+                        );
+                    }
+                    if kind == KIND_FREE {
+                        assert!(
+                            !allocatable.contains(&heap.block_of_addr(a)),
+                            "crash point {point}: freed master recycled \
+                             while its log is still committed on media"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_directory_grows_past_initial_capacity() {
+        let pmem = Pmem::new(PmemConfig::crash_sim(16 << 20));
+        let rt = JnvmBuilder::new()
+            .create(Arc::clone(&pmem), HeapConfig::default())
+            .unwrap();
+        let fam = rt.fa_manager();
+        let want = DIR_CAPACITY + 8;
+        // Acquire more logs than the directory's initial capacity without
+        // releasing any — the 65th acquisition used to panic ("directory
+        // full: too many threads").
+        let logs: Vec<LogHandle> = (0..want).map(|_| fam.acquire_log(&rt)).collect();
+        let addrs: HashSet<u64> = logs.iter().map(|l| l.addr()).collect();
+        assert_eq!(addrs.len() as u64, want, "every log published at a distinct address");
+        let dir = RawChain::open(&rt, rt.heap().root_slot(2));
+        assert_eq!(pmem.read_u64(dir.phys(0)), DIR_CAPACITY * 2, "capacity doubled");
+        assert_eq!(used_slots(&rt), want);
+        for log in logs {
+            fam.release_log(log);
+        }
+        // The grown directory survives recovery: every published log is
+        // found and pooled again.
+        pmem.drain_all();
+        pmem.crash(&CrashPolicy::strict()).unwrap();
+        drop(rt);
+        let (rt2, _report) = JnvmBuilder::new().open(Arc::clone(&pmem)).unwrap();
+        let fam2 = rt2.fa_manager();
+        assert_eq!(used_slots(&rt2), want);
+        // Acquiring that many again drains the recovered pool: no new
+        // logs are created, no directory slots consumed.
+        let logs2: Vec<LogHandle> = (0..want).map(|_| fam2.acquire_log(&rt2)).collect();
+        assert_eq!(used_slots(&rt2), want, "recovery must repopulate the log pool");
+        for log in logs2 {
+            fam2.release_log(log);
+        }
+    }
 }

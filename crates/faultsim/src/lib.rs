@@ -23,7 +23,20 @@
 //! The driver is deliberately generic over the workload context `Ctx` so
 //! the same loop drives raw-device workloads, `jnvm` runtimes, and whole
 //! KV stores (see the workspace's `tests/crash_points.rs`).
+//!
+//! ## Concurrent torture ([`torture_point`] / [`torture_sweep`])
+//!
+//! The single-threaded sweep can only falsify sequential durability bugs.
+//! The torture variants run `nthreads` workers over one shared context
+//! with crash injection armed: the interleaving of the workers' op
+//! streams decides which thread hits the trigger, every *other* thread's
+//! next device op unwinds with a secondary [`CrashInjected`], and the
+//! driver joins all workers (the quiesce protocol), drops the context
+//! while the device is still frozen, thaws it, resynchronizes the cache
+//! ([`Pmem::resync_cache`] — workers mid-store at the moment of the crash
+//! may have scribbled on the rebuilt cache), and only then verifies.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use jnvm_pmem::{catch_crash, CrashInjected, FaultMode, FaultPlan, Pmem, TraceRecord};
@@ -154,6 +167,145 @@ pub fn sweep_all<Ctx>(
     summary
 }
 
+/// What happened at one crash point of a concurrent torture run.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureOutcome {
+    /// The 0-based op index that was replaced by a power failure (ops are
+    /// counted across *all* threads in interleaving order).
+    pub point: u64,
+    /// Workers unwound by the crash: the trigger thread plus every worker
+    /// whose next device op hit the frozen device.
+    pub crashed_threads: usize,
+    /// Workers that ran their workload to completion.
+    pub completed_threads: usize,
+}
+
+impl TortureOutcome {
+    /// True when the armed point fired before the workload drained.
+    pub fn injected(&self) -> bool {
+        self.crashed_threads > 0
+    }
+}
+
+/// Aggregate result of [`torture_sweep`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TortureSummary {
+    /// Points at which a crash was injected (and verified).
+    pub points_injected: usize,
+    /// Points past the end of the interleaved op stream: the workload
+    /// completed; `verify` still ran against the completed image.
+    pub points_completed: usize,
+}
+
+/// Count the persistence-relevant ops of a concurrent workload: `setup`
+/// builds the shared context, then `nthreads` workers each run
+/// `workload(t, &ctx)`. The total is exact (every op is counted once)
+/// but how the ops interleave — and therefore what op index a given
+/// thread's Nth op gets — varies run to run.
+pub fn torture_count<Ctx: Sync>(
+    nthreads: usize,
+    setup: impl FnOnce() -> (Arc<Pmem>, Ctx),
+    workload: impl Fn(usize, &Ctx) + Sync,
+) -> u64 {
+    let (pmem, ctx) = setup();
+    pmem.arm_faults(FaultPlan::count());
+    std::thread::scope(|s| {
+        for t in 0..nthreads {
+            let ctx = &ctx;
+            let workload = &workload;
+            s.spawn(move || workload(t, ctx));
+        }
+    });
+    drop(ctx);
+    pmem.disarm_faults()
+}
+
+/// Run one concurrent crash-point experiment.
+///
+/// 1. `setup()` builds a fresh device and shared context;
+/// 2. the device is armed with `CrashAt(point)` under `plan`'s policy;
+/// 3. `nthreads` workers run `workload(t, &ctx)`, each inside
+///    [`catch_crash`]. Whichever thread's op lands on `point` triggers
+///    the power failure; every other worker's next device op unwinds
+///    with a secondary [`CrashInjected`];
+/// 4. the scope join is the quiesce barrier. The context is dropped while
+///    the device is still frozen (unwind destructors must not repair the
+///    crash image), the device is thawed, and — if a crash fired — the
+///    cache is resynchronized from media to discard stores that were
+///    in flight when power was lost;
+/// 5. `verify(&pmem, &outcome)` checks recovery invariants. It is called
+///    for completed (past-the-end) points too: a fully-applied image must
+///    satisfy the same invariants.
+///
+/// Panics from workers that are not injected crashes propagate out of the
+/// scope join (they are real bugs); panics from `verify` are failed
+/// invariants.
+pub fn torture_point<Ctx: Sync>(
+    point: u64,
+    plan: FaultPlan,
+    nthreads: usize,
+    setup: impl FnOnce() -> (Arc<Pmem>, Ctx),
+    workload: impl Fn(usize, &Ctx) + Sync,
+    verify: impl FnOnce(&Arc<Pmem>, &TortureOutcome),
+) -> TortureOutcome {
+    let (pmem, ctx) = setup();
+    pmem.arm_faults(FaultPlan {
+        mode: FaultMode::CrashAt(point),
+        ..plan
+    });
+    let crashed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..nthreads {
+            let ctx = &ctx;
+            let workload = &workload;
+            let crashed = &crashed;
+            s.spawn(move || {
+                if catch_crash(|| workload(t, ctx)).is_err() {
+                    crashed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    let injected = pmem.faults_frozen();
+    drop(ctx);
+    pmem.disarm_faults();
+    if injected {
+        pmem.resync_cache();
+    }
+    let crashed_threads = crashed.load(Ordering::SeqCst);
+    let outcome = TortureOutcome {
+        point,
+        crashed_threads,
+        completed_threads: nthreads - crashed_threads,
+    };
+    verify(&pmem, &outcome);
+    outcome
+}
+
+/// Sweep the given crash points of a concurrent workload with
+/// [`torture_point`]. Because the interleaving differs between runs, the
+/// same point index may fall on a different op each time — that is the
+/// point: sweeping plus repetition explores the interleaving space.
+pub fn torture_sweep<Ctx: Sync>(
+    points: impl IntoIterator<Item = u64>,
+    plan: FaultPlan,
+    nthreads: usize,
+    mut setup: impl FnMut() -> (Arc<Pmem>, Ctx),
+    workload: impl Fn(usize, &Ctx) + Sync,
+    mut verify: impl FnMut(&Arc<Pmem>, &TortureOutcome),
+) -> TortureSummary {
+    let mut summary = TortureSummary::default();
+    for point in points {
+        let outcome = torture_point(point, plan, nthreads, &mut setup, &workload, &mut verify);
+        if outcome.injected() {
+            summary.points_injected += 1;
+        } else {
+            summary.points_completed += 1;
+        }
+    }
+    summary
+}
+
 /// Evenly strided sample of `0..total` with at most `max_points` elements,
 /// always including the first and last point. Lets long workloads run a
 /// representative sweep by default while keeping the exhaustive sweep
@@ -174,7 +326,7 @@ pub fn strided_points(total: u64, max_points: u64) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jnvm_pmem::{FaultOp, PmemConfig};
+    use jnvm_pmem::{silence_crash_panics, FaultOp, PmemConfig};
 
     /// A miniature redo-log commit against the raw device: write a value
     /// and a commit flag with a correct flush/fence protocol.
@@ -233,6 +385,92 @@ mod tests {
         );
         assert_eq!(summary.points_crashed, 0);
         assert_eq!(summary.points_completed, 2);
+    }
+
+    const TORTURE_THREADS: usize = 4;
+    /// Per-thread ops: 16 iterations × (write + pwb + pfence).
+    const TORTURE_OPS_PER_THREAD: u64 = 16 * 3;
+
+    fn torture_setup() -> (Arc<Pmem>, Arc<Pmem>) {
+        let pmem = Pmem::new(PmemConfig::crash_sim(64 * 1024));
+        (Arc::clone(&pmem), pmem)
+    }
+
+    /// Each worker writes its own 16 lines with a correct flush/fence per
+    /// write, so after any crash a thread's region holds only values it
+    /// wrote (or zero).
+    fn torture_workload(t: usize, p: &Arc<Pmem>) {
+        let base = t as u64 * 8192;
+        for i in 0..16u64 {
+            let addr = base + i * 64;
+            p.write_u64(addr, i + 1);
+            p.pwb(addr);
+            p.pfence();
+        }
+    }
+
+    #[test]
+    fn torture_count_totals_all_threads() {
+        let total = torture_count(TORTURE_THREADS, torture_setup, torture_workload);
+        assert_eq!(total, TORTURE_THREADS as u64 * TORTURE_OPS_PER_THREAD);
+    }
+
+    #[test]
+    fn injected_crash_stops_every_thread() {
+        silence_crash_panics();
+        // Crash very early: every worker still has ops ahead of it, so
+        // every worker must unwind — the trigger thread via the primary
+        // CrashInjected, the rest via secondary unwinds. (Before the
+        // secondary-unwind protocol, non-trigger workers silently
+        // completed against the frozen device.)
+        let outcome = torture_point(
+            2,
+            FaultPlan::count(),
+            TORTURE_THREADS,
+            torture_setup,
+            torture_workload,
+            |pmem, outcome| {
+                assert!(outcome.injected());
+                // No thread fenced more than its prefix: each surviving
+                // value must be one the owner actually wrote.
+                for t in 0..TORTURE_THREADS as u64 {
+                    for i in 0..16u64 {
+                        let v = pmem.read_u64(t * 8192 + i * 64);
+                        assert!(v == 0 || v == i + 1, "torn value {v} at thread {t} slot {i}");
+                    }
+                }
+            },
+        );
+        assert_eq!(
+            outcome.crashed_threads, TORTURE_THREADS,
+            "a power failure must stop every thread, not just the trigger"
+        );
+        assert_eq!(outcome.completed_threads, 0);
+    }
+
+    #[test]
+    fn torture_sweep_tallies_injected_and_completed() {
+        silence_crash_panics();
+        let total = TORTURE_THREADS as u64 * TORTURE_OPS_PER_THREAD;
+        let summary = torture_sweep(
+            [0, total / 2, total + 50],
+            FaultPlan::count(),
+            TORTURE_THREADS,
+            torture_setup,
+            torture_workload,
+            |pmem, outcome| {
+                if !outcome.injected() {
+                    // Completed run: every fenced write is durable.
+                    for t in 0..TORTURE_THREADS as u64 {
+                        for i in 0..16u64 {
+                            assert_eq!(pmem.read_u64(t * 8192 + i * 64), i + 1);
+                        }
+                    }
+                }
+            },
+        );
+        assert_eq!(summary.points_injected, 2);
+        assert_eq!(summary.points_completed, 1);
     }
 
     #[test]

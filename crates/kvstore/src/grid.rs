@@ -440,6 +440,89 @@ mod tests {
         );
     }
 
+    /// A counter backend for proving rmw's read and update halves execute
+    /// under one continuous stripe-lock hold: `read_touch` observes the
+    /// counter, `update_field` stores back observed + 1. Any writer
+    /// interleaving between the halves loses increments, so an exact
+    /// final sum is only possible with the lock held across both.
+    #[derive(Default)]
+    struct CounterBackend {
+        value: AtomicU64,
+        seen: Mutex<std::collections::HashMap<std::thread::ThreadId, u64>>,
+    }
+
+    impl crate::backend::Backend for CounterBackend {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn store_full(&self, _rec: &Record) -> bool {
+            true
+        }
+        fn read(&self, key: &str) -> Option<Record> {
+            Some(Record::ycsb(
+                key,
+                &[self.value.load(Ordering::SeqCst).to_le_bytes().to_vec()],
+            ))
+        }
+        fn read_touch(&self, _key: &str) -> bool {
+            let v = self.value.load(Ordering::SeqCst);
+            self.seen.lock().insert(std::thread::current().id(), v);
+            // Widen the read-to-update window so an unlocked gap is hit.
+            std::thread::yield_now();
+            true
+        }
+        fn update_field(&self, _key: &str, _field: usize, _value: &[u8]) -> bool {
+            let seen = self
+                .seen
+                .lock()
+                .remove(&std::thread::current().id())
+                .expect("rmw update half without its read half");
+            self.value.store(seen + 1, Ordering::SeqCst);
+            true
+        }
+        fn remove(&self, _key: &str) -> bool {
+            true
+        }
+        fn len(&self) -> usize {
+            1
+        }
+        fn prefers_field_updates(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn concurrent_rmw_counter_sum_is_exact() {
+        let be = Arc::new(CounterBackend::default());
+        let g = Arc::new(DataGrid::new(
+            Arc::clone(&be) as Arc<dyn Backend>,
+            GridConfig {
+                cache_capacity: 0,
+                ..GridConfig::default()
+            },
+        ));
+        const T: usize = 8;
+        const K: u64 = 250;
+        let threads: Vec<_> = (0..T)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..K {
+                        assert!(g.rmw("k", 0, b"x"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            be.value.load(Ordering::SeqCst),
+            T as u64 * K,
+            "lost increments: rmw released the stripe lock between read and update"
+        );
+    }
+
     #[test]
     fn remove_counts_as_write() {
         let g = volatile_grid(0);

@@ -12,6 +12,7 @@
 
 use jnvm::{Jnvm, JnvmBuilder, JnvmError, PObject, Proxy, RawChain};
 use jnvm_jpdt::{register_jpdt, PBytes, PStringHashMap, PValue};
+use parking_lot::Mutex;
 
 use crate::backend::Backend;
 use crate::codec::{ycsb_field_name, Record};
@@ -136,9 +137,22 @@ pub fn register_kvstore(b: JnvmBuilder) -> JnvmBuilder {
 }
 
 /// The J-PDT / J-PFA backend: sharded persistent hash maps of records.
+///
+/// # Concurrency contract
+///
+/// Failure-atomic blocks provide atomicity, not isolation: writes made
+/// inside a block live in per-thread in-flight copies until commit-apply,
+/// so two blocks mutating the *same* persistent blocks overwrite each
+/// other (last apply wins). Per-**key** operations (`update_field`) touch
+/// only that key's record, and callers such as [`crate::DataGrid`]
+/// serialize them per key. Map-*structure* operations (`store_full`,
+/// `remove`) touch the shard's shared cell array and entry chains, so the
+/// backend serializes those itself with one lock per shard, held across
+/// the whole failure-atomic block.
 pub struct JnvmBackend {
     rt: Jnvm,
     shards: Vec<PStringHashMap>,
+    shard_locks: Vec<Mutex<()>>,
     fa: bool,
 }
 
@@ -154,9 +168,11 @@ impl JnvmBackend {
             rt.root_put(&format!("{SHARD_ROOT_PREFIX}{i}"), &m)?;
             shards.push(m);
         }
+        let shard_locks = (0..shards.len()).map(|_| Mutex::new(())).collect();
         Ok(JnvmBackend {
             rt: rt.clone(),
             shards,
+            shard_locks,
             fa,
         })
     }
@@ -176,19 +192,25 @@ impl JnvmBackend {
                 "no kvstore shards in root map".into(),
             ));
         }
+        let shard_locks = (0..shards.len()).map(|_| Mutex::new(())).collect();
         Ok(JnvmBackend {
             rt: rt.clone(),
             shards,
+            shard_locks,
             fa,
         })
     }
 
-    fn shard(&self, key: &str) -> &PStringHashMap {
+    fn shard_index(&self, key: &str) -> usize {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in key.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x100000001b3);
         }
-        &self.shards[(h as usize) % self.shards.len()]
+        (h as usize) % self.shards.len()
+    }
+
+    fn shard(&self, key: &str) -> &PStringHashMap {
+        &self.shards[self.shard_index(key)]
     }
 
     fn with_fa<R>(&self, f: impl FnOnce() -> R) -> R {
@@ -211,6 +233,9 @@ impl Backend for JnvmBackend {
 
     fn store_full(&self, rec: &Record) -> bool {
         let values: Vec<Vec<u8>> = rec.fields.iter().map(|(_, v)| v.clone()).collect();
+        // Held across the whole failure-atomic block: the map put mutates
+        // the shard's shared blocks (see the concurrency contract above).
+        let _shard = self.shard_locks[self.shard_index(&rec.key)].lock();
         self.with_fa(|| {
             let Ok(prec) = PRecord::create(&self.rt, &values) else {
                 return false;
@@ -269,6 +294,7 @@ impl Backend for JnvmBackend {
     }
 
     fn remove(&self, key: &str) -> bool {
+        let _shard = self.shard_locks[self.shard_index(key)].lock();
         self.with_fa(|| match self.shard(key).remove(&key.to_string()) {
             Some(old) => {
                 PRecord::free_deep(&self.rt, old);
@@ -318,6 +344,60 @@ mod tests {
         assert_eq!(rec.field(1).unwrap(), b"TWO");
         let r = rec.to_record("k");
         assert_eq!(r.fields[0], ("field0".to_string(), b"one".to_vec()));
+    }
+
+    /// Regression: concurrent failure-atomic puts into the *same* shard
+    /// used to lose each other's map-cell updates. Each block mutates the
+    /// shard's cell array through its own in-flight copy; whichever commit
+    /// applied last overwrote the other's cell, leaving the volatile
+    /// mirror claiming a key the persistent array no longer references
+    /// (and dangling cells pointing at freed records). Store/remove now
+    /// hold a per-shard lock across the whole block.
+    #[test]
+    fn concurrent_same_shard_inserts_all_survive() {
+        let (pmem, rt) = rt(64 << 20);
+        let be = Arc::new(JnvmBackend::create(&rt, 1, true).unwrap());
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 100;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let be = Arc::clone(&be);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let rec = Record::ycsb(
+                            &format!("t{t}-{i:04}"),
+                            &[format!("v{t}-{i:04}").into_bytes()],
+                        );
+                        assert!(be.store_full(&rec), "t{t} insert {i} refused");
+                    }
+                });
+            }
+        });
+        assert_eq!(be.len(), THREADS * PER_THREAD);
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let key = format!("t{t}-{i:04}");
+                let rec = be
+                    .read(&key)
+                    .unwrap_or_else(|| panic!("{key}: concurrent insert lost"));
+                assert_eq!(rec.fields[0].1, format!("v{t}-{i:04}").into_bytes());
+            }
+        }
+        // Same story on the persistent image.
+        drop(be);
+        drop(rt);
+        pmem.crash(&CrashPolicy::strict()).unwrap();
+        let (rt2, _) = register_kvstore(JnvmBuilder::new())
+            .open(Arc::clone(&pmem))
+            .unwrap();
+        let be2 = JnvmBackend::open(&rt2, true).unwrap();
+        assert_eq!(be2.len(), THREADS * PER_THREAD);
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                let key = format!("t{t}-{i:04}");
+                assert!(be2.read(&key).is_some(), "{key} lost after recovery");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,15 @@ pub enum SimMode {
     /// Cache/media split with per-line dirty tracking. [`crate::Pmem::crash`]
     /// is available. Roughly 2x the memory footprint and slower accesses;
     /// intended for correctness tests.
+    ///
+    /// Persistence domains are **per thread**, mirroring x86 semantics: a
+    /// `pwb` enqueues the line on the calling thread's write-pending queue
+    /// and a `pfence`/`psync` drains only that thread's queue. Lines another
+    /// thread has `pwb`ed but not yet fenced are still *unpersisted* at a
+    /// crash (they fall under the eviction coin of the [`CrashPolicy`] like
+    /// any dirty line). Code that flushes on one thread and fences on
+    /// another is therefore not crash-consistent, and the simulator will
+    /// catch it.
     CrashSim,
 }
 

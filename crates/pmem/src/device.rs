@@ -1,7 +1,9 @@
 //! The simulated NVMM device.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
@@ -28,12 +30,36 @@ const LINE_PENDING: u8 = 2;
 struct CrashSim {
     /// The persistent media: survives [`Pmem::crash`].
     media: Box<[AtomicU64]>,
-    /// Per-line state: clean / dirty / pending (in the write-pending queue).
+    /// Per-line state: clean / dirty / pending (in some thread's domain).
     line_state: Box<[AtomicU8]>,
-    /// Write-pending queue: lines `pwb`ed but not yet fenced.
-    wpq: SegQueue<u64>,
+    /// Per-thread persistence domains: each thread's `pwb`s queue into its
+    /// own write-pending queue, and only that thread's `pfence`/`psync`
+    /// drains it — an `sfence` on real hardware orders only the issuing
+    /// CPU's `clwb`s. Lines left in *other* threads' domains at a crash
+    /// are as vulnerable as dirty lines.
+    domains: Mutex<HashMap<ThreadId, Arc<SegQueue<u64>>>>,
     /// Serializes crash/drain against each other.
     crash_lock: Mutex<()>,
+}
+
+impl CrashSim {
+    /// The calling thread's write-pending queue, created on first use.
+    fn my_domain(&self) -> Arc<SegQueue<u64>> {
+        let mut map = self.domains.lock();
+        Arc::clone(map.entry(std::thread::current().id()).or_default())
+    }
+
+    /// The calling thread's queue, if it ever issued a `pwb`.
+    fn my_domain_if_any(&self) -> Option<Arc<SegQueue<u64>>> {
+        self.domains.lock().get(&std::thread::current().id()).cloned()
+    }
+
+    /// Empty every thread's queue (crash / orderly shutdown).
+    fn clear_domains(&self) {
+        for q in self.domains.lock().values() {
+            while q.pop().is_some() {}
+        }
+    }
 }
 
 /// A simulated byte-addressable non-volatile memory pool.
@@ -73,7 +99,7 @@ impl Pmem {
                 Some(CrashSim {
                     media: zeroed_words(nwords),
                     line_state: states.into_boxed_slice(),
-                    wpq: SegQueue::new(),
+                    domains: Mutex::new(HashMap::new()),
                     crash_lock: Mutex::new(()),
                 })
             }
@@ -122,6 +148,11 @@ impl Pmem {
     /// Bump the injected-crash counter (called by the engine only).
     pub(crate) fn record_injected_crash(&self) {
         self.stats.injected_crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump the secondary-unwind counter (called by the engine only).
+    pub(crate) fn record_secondary_unwind(&self) {
+        self.stats.secondary_unwinds.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
@@ -488,9 +519,12 @@ impl Pmem {
     // Persistence primitives (Izraelevitz et al., as adapted by the paper).
     // ------------------------------------------------------------------
 
-    /// `pwb`: enqueue the cache line containing `addr` into the
-    /// write-pending queue. Persistence is only guaranteed after a
-    /// subsequent [`Pmem::pfence`] or [`Pmem::psync`].
+    /// `pwb`: enqueue the cache line containing `addr` into the calling
+    /// thread's write-pending queue (its persistence domain). Persistence
+    /// is only guaranteed after a subsequent [`Pmem::pfence`] or
+    /// [`Pmem::psync`] **on the same thread** — another thread's fence
+    /// does not cover this `pwb`, just as another CPU's `sfence` does not
+    /// order this CPU's `clwb`s.
     pub fn pwb(&self, addr: u64) {
         self.check(addr, 1);
         if self.fault_point(FaultOp::Pwb, addr) {
@@ -503,17 +537,20 @@ impl Pmem {
         if let Some(sim) = &self.sim {
             let line = addr / CACHE_LINE;
             let st = &sim.line_state[line as usize];
-            // Only queue lines that are dirty and not already pending.
-            if st
+            // Queue dirty lines; a line another thread already has pending
+            // joins this thread's domain too (like `clwb`, flushing it
+            // again is legal, and *this* thread's fence must then make it
+            // durable even if the original flusher never fences).
+            let claimed = st
                 .compare_exchange(
                     LINE_DIRTY,
                     LINE_PENDING,
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 )
-                .is_ok()
-            {
-                sim.wpq.push(line);
+                .is_ok();
+            if claimed || st.load(Ordering::Acquire) == LINE_PENDING {
+                sim.my_domain().push(line);
             }
         }
     }
@@ -539,8 +576,13 @@ impl Pmem {
     }
 
     fn drain_wpq(&self, sim: &CrashSim) {
+        // Drain only the calling thread's domain: a fence persists the
+        // fencing thread's own pending flushes, nobody else's.
+        let Some(q) = sim.my_domain_if_any() else {
+            return;
+        };
         let _g = sim.crash_lock.lock();
-        while let Some(line) = sim.wpq.pop() {
+        while let Some(line) = q.pop() {
             self.persist_line(sim, line);
             // If the line was rewritten after its pwb it is DIRTY again; the
             // current content was persisted (an allowed eviction) but the
@@ -556,7 +598,8 @@ impl Pmem {
 
     /// `pfence`: order preceding `pwb`s before succeeding ones. Under the
     /// ADR model the paper assumes, a fenced `pwb` is durable; the simulator
-    /// therefore drains the write-pending queue to media here.
+    /// therefore drains the calling thread's write-pending queue to media
+    /// here. Lines pending in *other* threads' queues stay pending.
     pub fn pfence(&self) {
         if self.fault_point(FaultOp::Pfence, 0) {
             return;
@@ -592,11 +635,12 @@ impl Pmem {
 
     /// Simulate a power failure.
     ///
-    /// Every line not persisted via `pwb`+`pfence` independently survives
-    /// with `policy.evict_probability` (seeded — a given `(policy, dirty
-    /// set)` pair always produces the same post-crash state). The volatile
-    /// cache is then rebuilt from media, so subsequent reads observe exactly
-    /// the surviving state.
+    /// Every line not persisted via `pwb`+`pfence` *on the same thread*
+    /// independently survives with `policy.evict_probability` (seeded — a
+    /// given `(policy, dirty set)` pair always produces the same post-crash
+    /// state); a line still pending in another thread's domain faces the
+    /// same coin as a dirty line. The volatile cache is then rebuilt from
+    /// media, so subsequent reads observe exactly the surviving state.
     ///
     /// Returns [`PmemError::CrashSimRequired`] on a `Performance`-mode pool.
     ///
@@ -627,11 +671,12 @@ impl Pmem {
         for w in 0..self.words.len() {
             self.words[w].store(sim.media[w].load(Ordering::Acquire), Ordering::Release);
         }
-        while sim.wpq.pop().is_some() {}
+        sim.clear_domains();
         Ok(())
     }
 
-    /// Persist every dirty line (an orderly shutdown / eADR-style flush).
+    /// Persist every dirty line (an orderly shutdown / eADR-style flush),
+    /// regardless of which thread's domain it was pending in.
     /// No-op on `Performance` pools.
     pub fn drain_all(&self) {
         if let Some(sim) = &self.sim {
@@ -642,7 +687,30 @@ impl Pmem {
                     sim.line_state[line].store(LINE_CLEAN, Ordering::Release);
                 }
             }
-            while sim.wpq.pop().is_some() {}
+            sim.clear_domains();
+        }
+    }
+
+    /// Rebuild the volatile cache from media, marking every line clean and
+    /// emptying every thread's persistence domain. No-op on `Performance`
+    /// pools.
+    ///
+    /// Torture harnesses call this after an injected crash once every
+    /// worker thread has quiesced: a worker that entered a store just
+    /// before the trigger fired may complete that store *after*
+    /// [`Pmem::crash`] rebuilt the cache — exactly like a CPU mid-store at
+    /// power loss — and those ghost writes must not be visible to
+    /// recovery. The media (the crash image) is not touched.
+    pub fn resync_cache(&self) {
+        if let Some(sim) = &self.sim {
+            let _g = sim.crash_lock.lock();
+            for line in 0..sim.line_state.len() {
+                sim.line_state[line].store(LINE_CLEAN, Ordering::Release);
+            }
+            for w in 0..self.words.len() {
+                self.words[w].store(sim.media[w].load(Ordering::Acquire), Ordering::Release);
+            }
+            sim.clear_domains();
         }
     }
 
@@ -917,6 +985,94 @@ mod tests {
         p.write_u64(0, 2); // newer, unflushed
         p.crash(&CrashPolicy::strict()).unwrap();
         assert_eq!(p.read_u64(0), 1);
+    }
+
+    #[test]
+    fn foreign_fence_does_not_persist_unfenced_pwb() {
+        // Thread A pwbs without fencing; thread B fences. An sfence orders
+        // only the issuing CPU's clwbs, so A's line must NOT be durable.
+        // The old global write-pending queue drained A's pwb at B's fence
+        // and wrongly guaranteed it.
+        let p = dev(4096);
+        let pa = Arc::clone(&p);
+        std::thread::spawn(move || {
+            pa.write_u64(0, 41);
+            pa.pwb(0); // queued in A's domain, never fenced by A
+        })
+        .join()
+        .unwrap();
+        p.pfence(); // B's fence drains B's (empty) domain only
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(0), 0, "another thread's fence persisted A's un-fenced pwb");
+    }
+
+    #[test]
+    fn own_fence_persists_own_pwbs_only() {
+        let p = dev(4096);
+        let pa = Arc::clone(&p);
+        std::thread::spawn(move || {
+            pa.write_u64(0, 41);
+            pa.pwb(0); // never fenced by A
+        })
+        .join()
+        .unwrap();
+        p.write_u64(128, 42);
+        p.pwb(128);
+        p.pfence();
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(0), 0);
+        assert_eq!(p.read_u64(128), 42);
+    }
+
+    #[test]
+    fn pwb_of_pending_line_joins_callers_domain() {
+        // A pwbs a line and never fences; B pwbs the same (already
+        // pending) line and fences. B's clwb + sfence persists the line on
+        // hardware, so it must be durable here too.
+        let p = dev(4096);
+        let pa = Arc::clone(&p);
+        std::thread::spawn(move || {
+            pa.write_u64(0, 43);
+            pa.pwb(0);
+        })
+        .join()
+        .unwrap();
+        p.pwb(0);
+        p.pfence();
+        p.crash(&CrashPolicy::strict()).unwrap();
+        assert_eq!(p.read_u64(0), 43);
+    }
+
+    #[test]
+    fn foreign_pending_lines_face_the_eviction_coin() {
+        // Lenient policy: a line pending in a never-fenced thread's domain
+        // may still reach media (in-flight WPQ drain at power loss).
+        let p = dev(4096);
+        let pa = Arc::clone(&p);
+        std::thread::spawn(move || {
+            pa.write_u64(0, 44);
+            pa.pwb(0);
+        })
+        .join()
+        .unwrap();
+        p.crash(&CrashPolicy::lenient()).unwrap();
+        assert_eq!(p.read_u64(0), 44);
+    }
+
+    #[test]
+    fn resync_cache_discards_post_crash_scribbles() {
+        let p = dev(4096);
+        p.write_u64(0, 7);
+        p.pwb(0);
+        p.pfence();
+        p.crash(&CrashPolicy::strict()).unwrap();
+        // Simulate a racing in-flight store landing after the crash
+        // rebuilt the cache: resync must roll the cache back to media.
+        p.write_u64(0, 999);
+        p.write_u64(64, 999);
+        p.resync_cache();
+        assert_eq!(p.read_u64(0), 7);
+        assert_eq!(p.read_u64(64), 0);
     }
 
     #[test]

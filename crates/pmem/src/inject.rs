@@ -27,7 +27,17 @@
 //! recovered state unrepresentative of a real power failure. Volatile
 //! cleanup still runs; the persistent image stays exactly as the crash
 //! left it.
+//!
+//! A power failure stops *every* CPU, not just the one whose store the
+//! engine pre-empted. The first time any **other** thread touches the
+//! frozen device it too unwinds, with [`CrashInjected::secondary`] set —
+//! otherwise concurrent workers would keep "running past the end of the
+//! world", mutating volatile state (heap free queues, metrics) that no
+//! real post-crash process could observe. After its unwind a thread's
+//! further device ops are skipped silently, so unwind destructors remain
+//! safe to run.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -80,6 +90,11 @@ pub struct CrashInjected {
     pub op_index: u64,
     /// What that operation would have been.
     pub op: FaultOp,
+    /// `false` on the thread whose operation hit the armed trigger;
+    /// `true` when this unwind stopped *another* thread that touched the
+    /// device after the power failure (its `op` is the op it attempted,
+    /// `op_index` the trigger point).
+    pub secondary: bool,
 }
 
 /// One counted operation, recorded in [`FaultMode::Count`] mode.
@@ -99,6 +114,10 @@ pub(crate) struct Injector {
     /// Op index to crash before; `u64::MAX` in count mode.
     trigger: AtomicU64,
     tracing: AtomicBool,
+    /// Process-unique id of the current arming, compared against each
+    /// thread's [`SEEN_CRASH`] to tell "this thread already unwound from
+    /// this crash" (skip silently) from "fresh thread must unwind".
+    crash_token: AtomicU64,
     policy: Mutex<CrashPolicy>,
     trace: Mutex<Vec<TraceRecord>>,
 }
@@ -111,10 +130,20 @@ impl Default for Injector {
             counter: AtomicU64::new(0),
             trigger: AtomicU64::new(u64::MAX),
             tracing: AtomicBool::new(false),
+            crash_token: AtomicU64::new(0),
             policy: Mutex::new(CrashPolicy::strict()),
             trace: Mutex::new(Vec::new()),
         }
     }
+}
+
+/// Source of process-unique crash tokens; 0 is reserved for "never saw a
+/// crash" so the counter starts at 1.
+static NEXT_CRASH_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The last crash token this thread unwound (or triggered) under.
+    static SEEN_CRASH: Cell<u64> = const { Cell::new(0) };
 }
 
 impl Pmem {
@@ -126,6 +155,8 @@ impl Pmem {
         let inj = self.injector();
         inj.counter.store(0, Ordering::Relaxed);
         inj.frozen.store(false, Ordering::Relaxed);
+        inj.crash_token
+            .store(NEXT_CRASH_TOKEN.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
         *inj.policy.lock() = plan.policy;
         inj.trace.lock().clear();
         let (trigger, tracing) = match plan.mode {
@@ -179,7 +210,21 @@ impl Pmem {
     fn fault_point_armed(&self, op: FaultOp, addr: u64) -> bool {
         let inj = self.injector();
         if inj.frozen.load(Ordering::Relaxed) {
-            return true;
+            // The device is down. A thread that already unwound from this
+            // crash (or triggered it) is on its unwind/cleanup path: skip
+            // the op silently. Any *other* thread is experiencing the
+            // power failure for the first time — stop it too.
+            let token = inj.crash_token.load(Ordering::Relaxed);
+            if SEEN_CRASH.with(|c| c.get()) == token {
+                return true;
+            }
+            SEEN_CRASH.with(|c| c.set(token));
+            self.record_secondary_unwind();
+            std::panic::panic_any(CrashInjected {
+                op_index: inj.trigger.load(Ordering::Relaxed),
+                op,
+                secondary: true,
+            });
         }
         let idx = inj.counter.fetch_add(1, Ordering::Relaxed);
         if inj.tracing.load(Ordering::Relaxed) {
@@ -189,12 +234,17 @@ impl Pmem {
             // Freeze first: the crash below and the unwind after it must
             // not re-enter the engine or mutate the post-crash image.
             inj.frozen.store(true, Ordering::SeqCst);
+            SEEN_CRASH.with(|c| c.set(inj.crash_token.load(Ordering::Relaxed)));
             let policy = *inj.policy.lock();
             self.record_injected_crash();
             // On a Performance pool there is no media to roll back; the
             // freeze + unwind still model the control-flow cut.
             let _ = self.crash(&policy);
-            std::panic::panic_any(CrashInjected { op_index: idx, op });
+            std::panic::panic_any(CrashInjected {
+                op_index: idx,
+                op,
+                secondary: false,
+            });
         }
         false
     }
@@ -316,6 +366,59 @@ mod tests {
         p.disarm_faults();
         assert_eq!(p.read_u64(0), 1);
         assert_eq!(p.read_u64(8), 0);
+    }
+
+    #[test]
+    fn other_threads_unwind_after_injected_crash() {
+        silence_crash_panics();
+        let p = dev();
+        p.arm_faults(FaultPlan::crash_at(0));
+        let err = catch_crash(|| p.write_u64(0, 1)).expect_err("must crash");
+        assert!(!err.secondary);
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            // A power failure stops every CPU: this thread's first op on
+            // the frozen device must unwind too.
+            let err = catch_crash(|| p2.write_u64(64, 2)).expect_err("other threads must stop");
+            assert!(err.secondary);
+            assert_eq!(err.op, FaultOp::Write);
+            assert_eq!(err.op_index, 0, "secondary unwinds report the trigger point");
+            // After its own unwind the thread is quiesced; cleanup paths
+            // may keep touching the device without aborting the process.
+            p2.write_u64(64, 3);
+            p2.pwb(64);
+            p2.pfence();
+        })
+        .join()
+        .unwrap();
+        p.disarm_faults();
+        assert_eq!(p.read_u64(64), 0, "frozen device must drop all of the thread's writes");
+        assert_eq!(p.stats().secondary_unwinds, 1);
+    }
+
+    #[test]
+    fn secondary_unwind_fires_once_per_crash() {
+        silence_crash_panics();
+        let p = dev();
+        let worker = |p: &Arc<Pmem>| {
+            let p = Arc::clone(p);
+            std::thread::spawn(move || {
+                catch_crash(|| p.write_u64(64, 2)).expect_err("secondary unwind")
+            })
+            .join()
+            .unwrap()
+        };
+        // Two arm/crash cycles: a fresh crash token per arming means the
+        // same OS thread would unwind again, and a *new* thread unwinds
+        // exactly once per crash.
+        for round in 0..2u64 {
+            p.arm_faults(FaultPlan::crash_at(0));
+            let _ = catch_crash(|| p.write_u64(0, 1)).expect_err("must crash");
+            let err = worker(&p);
+            assert!(err.secondary, "round {round}");
+            p.disarm_faults();
+        }
+        assert_eq!(p.stats().secondary_unwinds, 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub struct PmemStats {
     pub(crate) psyncs: AtomicU64,
     pub(crate) crashes: AtomicU64,
     pub(crate) injected_crashes: AtomicU64,
+    pub(crate) secondary_unwinds: AtomicU64,
 }
 
 impl PmemStats {
@@ -39,6 +40,7 @@ impl PmemStats {
             psyncs: self.psyncs.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             injected_crashes: self.injected_crashes.load(Ordering::Relaxed),
+            secondary_unwinds: self.secondary_unwinds.load(Ordering::Relaxed),
         }
     }
 
@@ -53,6 +55,7 @@ impl PmemStats {
         self.psyncs.store(0, Ordering::Relaxed);
         self.crashes.store(0, Ordering::Relaxed);
         self.injected_crashes.store(0, Ordering::Relaxed);
+        self.secondary_unwinds.store(0, Ordering::Relaxed);
     }
 }
 
@@ -78,6 +81,9 @@ pub struct StatsSnapshot {
     /// Power failures triggered by the crash-point injection engine
     /// (a subset of `crashes`).
     pub injected_crashes: u64,
+    /// Threads stopped by an injected crash they did not trigger (their
+    /// first op against the frozen device unwound).
+    pub secondary_unwinds: u64,
 }
 
 impl StatsSnapshot {
@@ -97,6 +103,7 @@ impl StatsSnapshot {
             psyncs: self.psyncs.saturating_sub(earlier.psyncs),
             crashes: self.crashes.saturating_sub(earlier.crashes),
             injected_crashes: self.injected_crashes.saturating_sub(earlier.injected_crashes),
+            secondary_unwinds: self.secondary_unwinds.saturating_sub(earlier.secondary_unwinds),
         }
     }
 }

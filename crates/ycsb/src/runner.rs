@@ -148,7 +148,6 @@ where
                     let mut gen = make_generator(&spec, spec.record_count, spec.seed + t as u64);
                     let my_ops = spec.op_count / threads as u64
                         + u64::from((spec.op_count % threads as u64) > t as u64);
-                    let mut value_buf;
                     for _ in 0..my_ops {
                         let dice: f64 = rng.random();
                         let kind = if dice < spec.read {
@@ -162,10 +161,14 @@ where
                         };
                         let items = insert_cursor.load(Ordering::Relaxed);
                         gen.set_item_count(items);
-                        let t0 = Instant::now();
+                        // Keys and field payloads are generated *before*
+                        // the latency clock starts: the RNG fill for a
+                        // large field_len dwarfs the store op itself and
+                        // belongs to the harness, not the histograms.
                         match kind {
                             OpKind::Read => {
                                 let key = record_key(gen.next() % items);
+                                let t0 = Instant::now();
                                 client.read(&key);
                                 let ns = t0.elapsed().as_nanos() as u64;
                                 local.reads.record(ns);
@@ -174,18 +177,21 @@ where
                             OpKind::Update => {
                                 let key = record_key(gen.next() % items);
                                 let field = rng.random_range(0..spec.field_count);
-                                value_buf = field_value(&mut rng, spec.field_len);
-                                client.update(&key, field, &value_buf);
+                                let value = field_value(&mut rng, spec.field_len);
+                                let t0 = Instant::now();
+                                client.update(&key, field, &value);
                                 let ns = t0.elapsed().as_nanos() as u64;
                                 local.updates.record(ns);
                                 local.total.record(ns);
                             }
                             OpKind::Insert => {
                                 let n = insert_cursor.fetch_add(1, Ordering::Relaxed);
+                                let key = record_key(n);
                                 let fields: Vec<Vec<u8>> = (0..spec.field_count)
                                     .map(|_| field_value(&mut rng, spec.field_len))
                                     .collect();
-                                client.insert(&record_key(n), &fields);
+                                let t0 = Instant::now();
+                                client.insert(&key, &fields);
                                 let ns = t0.elapsed().as_nanos() as u64;
                                 local.inserts.record(ns);
                                 local.total.record(ns);
@@ -193,8 +199,9 @@ where
                             OpKind::Rmw => {
                                 let key = record_key(gen.next() % items);
                                 let field = rng.random_range(0..spec.field_count);
-                                value_buf = field_value(&mut rng, spec.field_len);
-                                client.rmw(&key, field, &value_buf);
+                                let value = field_value(&mut rng, spec.field_len);
+                                let t0 = Instant::now();
+                                client.rmw(&key, field, &value);
                                 let ns = t0.elapsed().as_nanos() as u64;
                                 local.rmws.record(ns);
                                 local.total.record(ns);
@@ -317,6 +324,46 @@ mod tests {
         run_load(&spec, |_| store.clone());
         let report = run_workload(&spec, |_| store.clone());
         assert!(report.rmws.count() > 300);
+    }
+
+    /// A client whose every op is free. Any latency the histograms see
+    /// is pure harness overhead, so with a huge `field_len` the insert
+    /// median stays tiny only if value generation happens *outside* the
+    /// timed region.
+    struct NoopClient;
+
+    impl KvClient for NoopClient {
+        fn read(&mut self, _key: &str) -> bool {
+            true
+        }
+        fn update(&mut self, _key: &str, _field: usize, _value: &[u8]) -> bool {
+            true
+        }
+        fn insert(&mut self, _key: &str, _fields: &[Vec<u8>]) -> bool {
+            true
+        }
+        fn rmw(&mut self, _key: &str, _field: usize, _value: &[u8]) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn value_generation_is_not_timed() {
+        let mut spec = Workload::A.spec(64, 60);
+        spec.read = 0.5;
+        spec.update = 0.0;
+        spec.insert = 0.5;
+        spec.rmw = 0.0;
+        spec.field_count = 2;
+        spec.field_len = 1 << 21; // 2 MiB per field: generation >> no-op store
+        spec.threads = 1;
+        let report = run_workload(&spec, |_| NoopClient);
+        assert!(report.inserts.count() > 10);
+        let median = report.inserts.quantile(0.5);
+        assert!(
+            median < 200_000,
+            "insert median {median} ns: 2 MiB value generation leaked into the timed region"
+        );
     }
 
     #[test]
