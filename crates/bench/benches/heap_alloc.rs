@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
         let pools = PoolManager::new(Arc::clone(&heap));
         b.iter(|| {
             let a = pools.alloc(17, 16).unwrap();
-            pools.free(a);
+            pools.free(a).unwrap();
         })
     });
     g.finish();

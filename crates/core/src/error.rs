@@ -40,6 +40,14 @@ pub enum JnvmError {
     /// A failure-atomic block was started on a different runtime than the
     /// one already active on this thread.
     ForeignTransaction,
+    /// A redo-log entry with an unknown kind was found during replay — the
+    /// log (or the directory pointing at it) is damaged. Reported instead
+    /// of aborting so a server re-open on a damaged pool can surface the
+    /// failure to its operator.
+    CorruptLog {
+        /// The unrecognized entry-kind word.
+        kind: u64,
+    },
 }
 
 impl fmt::Display for JnvmError {
@@ -62,6 +70,9 @@ impl fmt::Display for JnvmError {
             JnvmError::TooManyFaThreads => write!(f, "failure-atomic log directory full"),
             JnvmError::ForeignTransaction => {
                 write!(f, "failure-atomic block already active on another runtime")
+            }
+            JnvmError::CorruptLog { kind } => {
+                write!(f, "corrupt redo log: entry kind {kind}")
             }
         }
     }

@@ -23,10 +23,12 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
 
+use crate::error::JnvmError;
 use crate::proxy::{Proxy, RawChain};
 use crate::registry::CLASS_ID_FALOG;
 use crate::runtime::{Jnvm, JnvmRuntime};
@@ -124,8 +126,10 @@ impl FaManager {
 
     /// After restart: replay committed logs, abandon uncommitted ones, and
     /// repopulate the volatile log pool. Returns `(replayed, abandoned)`.
-    /// Must run before the recovery GC.
-    pub(crate) fn recover_logs(&self, rt: &Jnvm) -> (u64, u64) {
+    /// Must run before the recovery GC. A damaged log (unknown entry kind)
+    /// surfaces as [`JnvmError::CorruptLog`] rather than aborting, so a
+    /// server re-open on a damaged pool can report the failure.
+    pub(crate) fn recover_logs(&self, rt: &Jnvm) -> Result<(u64, u64), JnvmError> {
         let dir_addr = rt.heap().root_slot(2);
         let dir = RawChain::open(rt, dir_addr);
         let pmem = rt.pmem();
@@ -142,7 +146,7 @@ impl FaManager {
             let committed = pmem.read_u64(chain.phys(LOG_COMMITTED));
             if committed == 1 {
                 let count = pmem.read_u64(chain.phys(LOG_COUNT));
-                apply_entries(rt, &chain, count, false);
+                apply_entries(rt, &chain, count, false)?;
                 pmem.write_u64(chain.phys(LOG_COMMITTED), 0);
                 pmem.pwb(chain.phys(LOG_COMMITTED));
                 replayed += 1;
@@ -152,7 +156,7 @@ impl FaManager {
             self.free_logs.push(LogHandle { chain });
         }
         pmem.pfence();
-        (replayed, abandoned)
+        Ok((replayed, abandoned))
     }
 }
 
@@ -403,7 +407,12 @@ struct DeferredReclaim {
 /// scribble on it while the log is still committed on media — a crash in
 /// that window replays the log and copies the scribbles (or re-invalidates
 /// the other thread's allocation) onto committed state.
-fn apply_entries(rt: &Jnvm, chain: &RawChain, count: u64, runtime_commit: bool) -> DeferredReclaim {
+fn apply_entries(
+    rt: &Jnvm,
+    chain: &RawChain,
+    count: u64,
+    runtime_commit: bool,
+) -> Result<DeferredReclaim, JnvmError> {
     let pmem = rt.pmem();
     let heap = rt.heap();
     let psize = heap.payload_size() as usize;
@@ -424,7 +433,7 @@ fn apply_entries(rt: &Jnvm, chain: &RawChain, count: u64, runtime_commit: bool) 
                     deferred.inflight.push(heap.block_of_addr(b));
                 }
             }
-            other => panic!("corrupt redo log: entry kind {other}"),
+            other => return Err(JnvmError::CorruptLog { kind: other }),
         }
     }
     if !runtime_commit {
@@ -434,7 +443,7 @@ fn apply_entries(rt: &Jnvm, chain: &RawChain, count: u64, runtime_commit: bool) 
             rt.set_valid_addr(a, false);
         }
     }
-    deferred
+    Ok(deferred)
 }
 
 impl JnvmRuntime {
@@ -506,24 +515,216 @@ impl JnvmRuntime {
     pub fn in_fa(&self) -> bool {
         depth() > 0
     }
+
+    /// Execute `f` as a failure-atomic block whose mutations are **staged**
+    /// rather than committed: every modification is logged and redirected
+    /// exactly as in [`JnvmRuntime::fa`], and the in-flight payloads are
+    /// queued for write-back, but no fence is issued and the log is not
+    /// committed. The returned [`StagedTx`] must be handed to
+    /// [`JnvmRuntime::fa_commit_group`] (with any number of siblings) to
+    /// make the block durable behind a *shared* pair of fences — the group
+    /// commit of the server write path. Dropping the handle aborts the
+    /// block as if `f` had panicked.
+    ///
+    /// # Footprint discipline
+    ///
+    /// Staged blocks in one group redirect writes independently: two blocks
+    /// touching the **same master block** each copy the pre-group payload
+    /// and the last apply wins (lost update). The caller must guarantee
+    /// pairwise-disjoint write footprints within a group (the kvstore
+    /// committer derives this from shard/stripe disjointness);
+    /// `fa_commit_group` debug-asserts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is already inside a failure-atomic
+    /// block: staging cannot nest.
+    pub fn fa_stage<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> (StagedTx, R) {
+        assert_eq!(depth(), 0, "fa_stage cannot nest inside an active failure-atomic block");
+        set_phase(CommitPhase::Mutate);
+        let log = self.fa_manager().acquire_log(self);
+        TX.with(|tx| {
+            *tx.borrow_mut() = Some(TxState {
+                rt: Arc::clone(self),
+                log,
+                count: 0,
+                redirects: HashMap::new(),
+                allocated: HashSet::new(),
+            });
+        });
+        TX_DEPTH.with(|d| d.set(1));
+        struct Guard<'a> {
+            rt: &'a Arc<JnvmRuntime>,
+            done: bool,
+        }
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                TX_DEPTH.with(|d| d.set(0));
+                if !self.done {
+                    abort_tx(self.rt);
+                }
+            }
+        }
+        let mut guard = Guard { rt: self, done: false };
+        let r = f();
+        guard.done = true;
+        drop(guard);
+        let state = TX.with(|tx| tx.borrow_mut().take().expect("stage without transaction"));
+        // Step 1 of the commit protocol, minus its fence: queue the
+        // write-back of in-flight copies and fresh allocations now, on the
+        // staging thread, so the group's single step-1 fence covers them
+        // (per-thread persistence domains drain only the caller's queue).
+        set_phase(CommitPhase::FlushInflight);
+        flush_staged(self, &state);
+        (
+            StagedTx {
+                state: Some(state),
+                thread: std::thread::current().id(),
+            },
+            r,
+        )
+    }
+
+    /// Commit a group of [staged](JnvmRuntime::fa_stage) failure-atomic
+    /// blocks behind **one** shared pass of the §4.2 protocol: a single
+    /// step-1 fence covers every block's in-flight payloads, a single
+    /// commit-point fence makes the whole group durable (this is the
+    /// group's *durability point* — an acknowledgement released after this
+    /// call covers every block in the group), the blocks are applied, and
+    /// a single retire fence closes the pass. `K` independent commits thus
+    /// cost 3 fences instead of `3K`.
+    ///
+    /// Blocks that staged no mutations are released for free. The order of
+    /// `group` is the apply order; footprints must be pairwise disjoint
+    /// (see [`JnvmRuntime::fa_stage`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a staged block came from another thread (its queued
+    /// write-backs would not be covered by this thread's fences) or from
+    /// another runtime.
+    pub fn fa_commit_group(self: &Arc<Self>, group: Vec<StagedTx>) {
+        let me = std::thread::current().id();
+        let mut states: Vec<TxState> = Vec::new();
+        for mut tx in group {
+            assert_eq!(
+                tx.thread, me,
+                "staged block committed from a different thread than staged it \
+                 (per-thread persistence domains: its write-backs are not in \
+                 this thread's queue)"
+            );
+            let state = tx.state.take().expect("staged state present until commit or drop");
+            assert!(
+                Arc::ptr_eq(&state.rt, self),
+                "staged block belongs to a different runtime"
+            );
+            if state.count == 0 {
+                self.fa_manager().release_log(state.log);
+            } else {
+                states.push(state);
+            }
+        }
+        if states.is_empty() {
+            set_phase(CommitPhase::Idle);
+            return;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut seen: HashSet<u64> = HashSet::new();
+            for st in &states {
+                for master in st.redirects.keys() {
+                    assert!(
+                        seen.insert(*master),
+                        "group contains two staged blocks redirecting master block \
+                         {master:#x}: footprints must be pairwise disjoint"
+                    );
+                }
+            }
+        }
+        let pmem = self.pmem();
+        let heap = self.heap();
+        // 1. One fence covers every staged block's queued write-backs.
+        set_phase(CommitPhase::FlushInflight);
+        pmem.pfence();
+        // 2. Commit point of the whole group.
+        set_phase(CommitPhase::CommitPoint);
+        for st in &states {
+            pmem.write_u64(st.log.chain.phys(LOG_COUNT), st.count);
+            pmem.write_u64(st.log.chain.phys(LOG_COMMITTED), 1);
+            pmem.pwb(st.log.chain.phys(LOG_COMMITTED));
+            pmem.pwb(st.log.chain.phys(LOG_COUNT));
+        }
+        pmem.pfence(); // ---- the group's durability point ----
+        // 3. Apply every block (fence-free: a crash replays the logs).
+        set_phase(CommitPhase::Apply);
+        let deferred: Vec<DeferredReclaim> = states
+            .iter()
+            .map(|st| {
+                apply_entries(self, &st.log.chain, st.count, true)
+                    .expect("entries written by this commit are well-formed")
+            })
+            .collect();
+        // 4. Retire all logs behind one fence.
+        set_phase(CommitPhase::Retire);
+        for st in &states {
+            pmem.write_u64(st.log.chain.phys(LOG_COMMITTED), 0);
+            pmem.pwb(st.log.chain.phys(LOG_COMMITTED));
+        }
+        pmem.pfence();
+        // Only now — no log can replay again — may released blocks re-enter
+        // the shared allocator (same rule as the single-block commit).
+        for d in deferred {
+            for a in d.frees {
+                self.free_addr_now(a);
+            }
+            for b in d.inflight {
+                heap.push_free(b);
+            }
+        }
+        for st in states {
+            self.fa_manager().release_log(st.log);
+        }
+        set_phase(CommitPhase::Idle);
+    }
 }
 
-fn commit_tx(rt: &Jnvm) {
-    let state = TX.with(|tx| tx.borrow_mut().take().expect("commit without transaction"));
+/// A staged failure-atomic block: mutations logged, redirected and queued
+/// for write-back, but not yet durable. Produced by
+/// [`JnvmRuntime::fa_stage`]; consumed by [`JnvmRuntime::fa_commit_group`].
+/// Dropping an uncommitted handle aborts the block.
+pub struct StagedTx {
+    state: Option<TxState>,
+    thread: ThreadId,
+}
+
+impl StagedTx {
+    /// Number of log entries the block staged (0 = read-only block).
+    pub fn op_count(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.count)
+    }
+}
+
+impl Drop for StagedTx {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            abort_state(state);
+        }
+    }
+}
+
+impl std::fmt::Debug for StagedTx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagedTx")
+            .field("ops", &self.op_count())
+            .finish()
+    }
+}
+
+/// Step 1 of the commit protocol without its fence: queue the write-back
+/// of the block's in-flight copies and fresh allocations.
+fn flush_staged(rt: &Jnvm, state: &TxState) {
     let pmem = rt.pmem();
     let heap = rt.heap();
-    if state.count == 0 {
-        rt.fa_manager().release_log(state.log);
-        set_phase(CommitPhase::Idle);
-        return;
-    }
-    set_phase(CommitPhase::FlushInflight);
-    // 1. In-flight payloads reach the write-pending queue (entries already
-    //    have). Objects *allocated* in this block were written in place
-    //    with their explicit flushes suppressed by the mediation — the
-    //    commit owns their write-back ("all the persistent stores of a
-    //    block are propagated to NVMM at the end of the block", §3.2.2).
-    //    Then everything is fenced.
     for inflight in state.redirects.values() {
         // Invariant: the in-flight header was zeroed by `redirect_write`
         // but never flushed there. It must be durable by the commit point
@@ -543,6 +744,25 @@ fn commit_tx(rt: &Jnvm) {
             }
         }
     }
+}
+
+fn commit_tx(rt: &Jnvm) {
+    let state = TX.with(|tx| tx.borrow_mut().take().expect("commit without transaction"));
+    let pmem = rt.pmem();
+    let heap = rt.heap();
+    if state.count == 0 {
+        rt.fa_manager().release_log(state.log);
+        set_phase(CommitPhase::Idle);
+        return;
+    }
+    set_phase(CommitPhase::FlushInflight);
+    // 1. In-flight payloads reach the write-pending queue (entries already
+    //    have). Objects *allocated* in this block were written in place
+    //    with their explicit flushes suppressed by the mediation — the
+    //    commit owns their write-back ("all the persistent stores of a
+    //    block are propagated to NVMM at the end of the block", §3.2.2).
+    //    Then everything is fenced.
+    flush_staged(rt, &state);
     pmem.pfence();
     // 2. Commit point.
     set_phase(CommitPhase::CommitPoint);
@@ -553,7 +773,8 @@ fn commit_tx(rt: &Jnvm) {
     pmem.pfence();
     // 3. Apply (fence-free: a crash replays the committed log).
     set_phase(CommitPhase::Apply);
-    let deferred = apply_entries(rt, &state.log.chain, state.count, true);
+    let deferred = apply_entries(rt, &state.log.chain, state.count, true)
+        .expect("entries written by this commit are well-formed");
     // 4. Retire the log before reuse.
     set_phase(CommitPhase::Retire);
     pmem.write_u64(state.log.chain.phys(LOG_COMMITTED), 0);
@@ -580,17 +801,25 @@ fn abort_tx(rt: &Jnvm) {
     let Some(state) = TX.with(|tx| tx.borrow_mut().take()) else {
         return;
     };
+    debug_assert!(Arc::ptr_eq(&state.rt, rt));
+    abort_state(state);
+}
+
+/// Abort a block from its captured state (shared by the in-TLS abort path
+/// and [`StagedTx`]'s drop).
+fn abort_state(state: TxState) {
+    let TxState { rt, log, redirects, allocated, .. } = state;
     let heap = rt.heap();
     // Release in-flight copies (contents irrelevant, headers already 0).
-    for inflight in state.redirects.values() {
+    for inflight in redirects.values() {
         heap.push_free(heap.block_of_addr(*inflight));
     }
     // Release objects allocated inside the aborted block.
-    for master in &state.allocated {
+    for master in &allocated {
         rt.free_addr_now(*master);
     }
     // The log was never committed; its entries are dead.
-    rt.fa_manager().release_log(state.log);
+    rt.fa_manager().release_log(log);
 }
 
 #[cfg(test)]
@@ -697,6 +926,141 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    fn stage_setup() -> (Arc<jnvm_pmem::Pmem>, Jnvm, Vec<Proxy>) {
+        let pmem = Pmem::new(PmemConfig::crash_sim(8 << 20));
+        let rt = JnvmBuilder::new()
+            .create(Arc::clone(&pmem), HeapConfig::default())
+            .unwrap();
+        let objs: Vec<Proxy> = (0..4)
+            .map(|i| {
+                let p = Proxy::alloc(&rt, CLASS_ID_FALOG, 16);
+                p.write_u64(0, i);
+                p.pwb();
+                p.validate();
+                p
+            })
+            .collect();
+        pmem.psync();
+        (pmem, rt, objs)
+    }
+
+    /// A group of K staged blocks commits behind 3 fences total, not 3K,
+    /// and every block's effect lands.
+    #[test]
+    fn group_commit_amortizes_fences() {
+        let (pmem, rt, objs) = stage_setup();
+        // Pre-warm the log pool: fresh-log creation pays its own fences,
+        // which would obscure the steady-state count under test.
+        let fam = rt.fa_manager();
+        let warm: Vec<LogHandle> = (0..objs.len()).map(|_| fam.acquire_log(&rt)).collect();
+        for log in warm {
+            fam.release_log(log);
+        }
+        let before = pmem.stats();
+        let mut group = Vec::new();
+        for (i, obj) in objs.iter().enumerate() {
+            let (tx, ()) = rt.fa_stage(|| obj.write_u64(0, 100 + i as u64));
+            assert!(tx.op_count() > 0);
+            group.push(tx);
+        }
+        rt.fa_commit_group(group);
+        let d = pmem.stats().delta(&before);
+        assert_eq!(d.pfences, 3, "K staged blocks share one 3-fence pass");
+        for (i, obj) in objs.iter().enumerate() {
+            assert_eq!(obj.read_u64(0), 100 + i as u64);
+        }
+        // The logs were retired and released: a fresh block reuses them.
+        rt.fa(|| objs[0].write_u64(0, 7));
+        assert_eq!(objs[0].read_u64(0), 7);
+    }
+
+    /// Dropping a staged handle aborts the block: masters untouched,
+    /// in-flight copies and fresh allocations released.
+    #[test]
+    fn dropped_stage_aborts() {
+        let (_pmem, rt, objs) = stage_setup();
+        let free_before = rt.heap().stats().blocks_freed;
+        {
+            let (_tx, _) = rt.fa_stage(|| {
+                objs[0].write_u64(0, 999);
+                Proxy::alloc(&rt, CLASS_ID_FALOG, 16)
+            });
+            // _tx dropped here, uncommitted
+        }
+        assert_eq!(objs[0].read_u64(0), 0, "aborted stage must not apply");
+        assert!(
+            rt.heap().stats().blocks_freed > free_before,
+            "abort releases the in-flight copy and the fresh allocation"
+        );
+        // Read-only (empty) stages commit for free.
+        let (tx, v) = rt.fa_stage(|| objs[1].read_u64(0));
+        assert_eq!(v, 1);
+        assert_eq!(tx.op_count(), 0);
+        rt.fa_commit_group(vec![tx]);
+    }
+
+    /// Crash-point sweep over an entire staged group commit: at every
+    /// injected crash point the group must be all-or-nothing per block —
+    /// after replay each object holds either its old or its new value, and
+    /// once the group's commit point is durable, *all* blocks replay.
+    #[test]
+    fn group_commit_crash_sweep_is_atomic_per_block() {
+        use jnvm_pmem::{catch_crash, silence_crash_panics, FaultPlan};
+        silence_crash_panics();
+        let workload = |rt: &Jnvm, objs: &[Proxy]| {
+            let mut group = Vec::new();
+            for (i, obj) in objs.iter().enumerate() {
+                let (tx, ()) = rt.fa_stage(|| obj.write_u64(0, 100 + i as u64));
+                group.push(tx);
+            }
+            rt.fa_commit_group(group);
+        };
+        let total = {
+            let (pmem, rt, objs) = stage_setup();
+            pmem.arm_faults(FaultPlan::count());
+            workload(&rt, &objs);
+            pmem.disarm_faults()
+        };
+        assert!(total > 0);
+        for point in 0..total {
+            let (pmem, rt, objs) = stage_setup();
+            let addrs: Vec<u64> = objs.iter().map(|o| o.addr()).collect();
+            pmem.arm_faults(FaultPlan::crash_at(point));
+            let outcome = catch_crash(|| workload(&rt, &objs));
+            drop(objs);
+            drop(rt);
+            pmem.disarm_faults();
+            if outcome.is_ok() {
+                continue;
+            }
+            let (rt2, _report) = JnvmBuilder::new().open(Arc::clone(&pmem)).unwrap();
+            let values: Vec<u64> = addrs
+                .iter()
+                .map(|a| Proxy::open(&rt2, *a).read_u64(0))
+                .collect();
+            let mut news = 0;
+            for (i, v) in values.iter().enumerate() {
+                let old = i as u64;
+                let new = 100 + i as u64;
+                assert!(
+                    *v == old || *v == new,
+                    "crash point {point}: object {i} torn ({v})"
+                );
+                if *v == new {
+                    news += 1;
+                }
+            }
+            // The group shares one commit point: after it, every block
+            // replays; before it, none do.
+            assert!(
+                news == 0 || news == values.len(),
+                "crash point {point}: group split {news}/{} — the shared \
+                 durability point must make the group all-or-nothing",
+                values.len()
+            );
         }
     }
 

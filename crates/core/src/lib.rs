@@ -65,7 +65,7 @@ mod macros;
 
 pub use error::JnvmError;
 pub use fa::depth as fa_depth;
-pub use fa::{commit_phase, CommitPhase};
+pub use fa::{commit_phase, CommitPhase, StagedTx};
 pub use field::PVal;
 pub use object::{PAny, PObject};
 pub use proxy::{Proxy, RawChain};

@@ -62,7 +62,7 @@ pub(crate) fn run(rt: &Jnvm, mode: RecoveryMode) -> Result<RecoveryReport, JnvmE
     };
     // 1. Failure-atomic logs first (§4.2).
     let t0 = Instant::now();
-    let (replayed, abandoned) = rt.fa_manager().recover_logs(rt);
+    let (replayed, abandoned) = rt.fa_manager().recover_logs(rt)?;
     report.replayed_logs = replayed;
     report.abandoned_logs = abandoned;
     report.log_time = t0.elapsed();

@@ -173,7 +173,10 @@ impl JnvmRuntime {
     /// and recovery).
     pub(crate) fn free_addr_now(&self, addr: u64) {
         if self.pools.is_pooled_addr(addr) {
-            self.pools.free(addr);
+            // A corrupt pool block makes the slot unfreeable; leak it rather
+            // than abort — recovery-time GC reclaims whatever stays
+            // unreachable.
+            let _ = self.pools.free(addr);
         } else {
             self.heap.free_object(self.heap.block_of_addr(addr));
         }

@@ -18,6 +18,16 @@ pub enum HeapError {
     BadClassId(u16),
     /// Requested pooled-object size exceeds every pool slot class.
     ObjectTooLargeForPool(u64),
+    /// A pool block's meta word names a slot class the allocator was not
+    /// configured with — the block (or the address used to reach it) is
+    /// corrupt. Reported instead of aborting so a reopen on a damaged pool
+    /// can surface the failure to its operator.
+    UnknownPoolClass {
+        /// Index of the offending pool block.
+        block: u64,
+        /// The unrecognized slot-payload size found in its meta word.
+        payload: u64,
+    },
 }
 
 impl fmt::Display for HeapError {
@@ -31,6 +41,9 @@ impl fmt::Display for HeapError {
             HeapError::BadClassId(id) => write!(f, "class id {id} exceeds 15-bit header field"),
             HeapError::ObjectTooLargeForPool(sz) => {
                 write!(f, "object of {sz} bytes too large for pool allocation")
+            }
+            HeapError::UnknownPoolClass { block, payload } => {
+                write!(f, "pool block {block} has unknown class {payload}")
             }
         }
     }

@@ -125,12 +125,16 @@ impl PoolManager {
 
     /// Free a pooled object: persistently invalidate its mini-header (no
     /// fence, like [`BlockHeap::free_object`]) and recycle the slot.
-    pub fn free(&self, addr: u64) {
-        let (ci, _) = self.locate(addr);
+    ///
+    /// Fails with [`HeapError::UnknownPoolClass`] if `addr` lands in a pool
+    /// block whose meta word is corrupt.
+    pub fn free(&self, addr: u64) -> Result<(), HeapError> {
+        let (ci, _) = self.locate(addr)?;
         let mut mh = self.read_mini(addr);
         mh.valid = false;
         self.write_mini_pwb(addr, mh);
         self.queues[ci].push(addr);
+        Ok(())
     }
 
     /// Read the mini-header of the pooled object at `addr`.
@@ -169,11 +173,14 @@ impl PoolManager {
 
     /// Locate `(size class index, slot index)` for a pooled address.
     ///
+    /// Fails with [`HeapError::UnknownPoolClass`] if the pool block's meta
+    /// word names a slot class the allocator was not configured with.
+    ///
     /// # Panics
     ///
     /// Panics if `addr` does not lie on a slot boundary of a pool block —
     /// that indicates heap corruption or a non-pooled address.
-    fn locate(&self, addr: u64) -> (usize, u64) {
+    fn locate(&self, addr: u64) -> Result<(usize, u64), HeapError> {
         let block = self.heap.block_of_addr(addr);
         let base = self.heap.block_addr(block);
         let payload = self.heap.pmem().read_u32(base + 8) as u64;
@@ -181,13 +188,13 @@ impl PoolManager {
             .classes
             .iter()
             .position(|c| *c == payload)
-            .unwrap_or_else(|| panic!("pool block {block} has unknown class {payload}"));
+            .ok_or(HeapError::UnknownPoolClass { block, payload })?;
         let off = addr - (base + 16);
         assert!(
             off.is_multiple_of(Self::slot_total(payload)),
             "address {addr:#x} is not on a slot boundary"
         );
-        (ci, off / Self::slot_total(payload))
+        Ok((ci, off / Self::slot_total(payload)))
     }
 
     /// Recovery (§4.1.3 extension for pools): for every *marked* pool block,
@@ -293,11 +300,24 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_pool_meta_reports_unknown_class() {
+        let (heap, pm) = mk();
+        let a = pm.alloc(20, 16).unwrap();
+        // Scribble an impossible slot class into the block's meta word.
+        let base = heap.block_addr(heap.block_of_addr(a));
+        heap.pmem().write_u32(base + 8, 3);
+        match pm.free(a) {
+            Err(HeapError::UnknownPoolClass { payload: 3, .. }) => {}
+            other => panic!("expected UnknownPoolClass, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn free_recycles_slot() {
         let (_h, pm) = mk();
         let a = pm.alloc(20, 16).unwrap();
         pm.set_valid(a, true);
-        pm.free(a);
+        pm.free(a).unwrap();
         assert!(!pm.read_mini(a).valid);
         // Freed slot is preferred over the block's remaining fresh slots?
         // Not guaranteed (queue order), but the slot must eventually return.

@@ -67,7 +67,7 @@ proptest! {
                 Op::PoolFree(i) => {
                     if !live_pool.is_empty() {
                         let a = live_pool.remove(i % live_pool.len());
-                        pools.free(a);
+                        pools.free(a).unwrap();
                     }
                 }
             }

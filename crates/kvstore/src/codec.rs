@@ -128,6 +128,42 @@ mod proptests {
                 prop_assert!(out.is_none());
             }
         }
+
+        /// Zero-field records (the wire protocol can legally carry them)
+        /// round-trip for any key.
+        #[test]
+        fn zero_field_record_round_trips(key in "[a-zA-Z0-9_:.-]{0,64}") {
+            let rec = Record { key, fields: vec![] };
+            prop_assert_eq!(decode_record(&encode_record(&rec)), Some(rec));
+        }
+
+        /// Flipping any single byte of a valid encoding never panics the
+        /// decoder (attacker-shaped input from the wire).
+        #[test]
+        fn single_byte_corruption_never_panics(pos in 0usize..64, bit in 0u8..8) {
+            let rec = Record::ycsb("k", &[vec![7u8; 20], vec![]]);
+            let mut bytes = encode_record(&rec);
+            if pos < bytes.len() {
+                bytes[pos] ^= 1 << bit;
+            }
+            let _ = decode_record(&bytes); // must not panic
+        }
+    }
+
+    /// The field-count word is a u16: a record with exactly `u16::MAX`
+    /// fields (the wire maximum) round-trips losslessly.
+    #[test]
+    fn max_field_count_round_trips() {
+        let rec = Record {
+            key: "max".to_string(),
+            fields: (0..u16::MAX as usize)
+                .map(|i| (ycsb_field_name(i), Vec::new()))
+                .collect(),
+        };
+        let bytes = encode_record(&rec);
+        let back = decode_record(&bytes).expect("max-field record must decode");
+        assert_eq!(back.fields.len(), u16::MAX as usize);
+        assert_eq!(back, rec);
     }
 }
 

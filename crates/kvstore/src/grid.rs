@@ -68,11 +68,31 @@ impl DataGrid {
     }
 
     fn stripe(&self, key: &str) -> &Mutex<()> {
+        &self.locks[self.stripe_index(key)]
+    }
+
+    /// Index of the lock stripe guarding `key` (FNV-1a, as everywhere).
+    /// Exposed so the group committer can detect same-stripe conflicts and
+    /// hold the same locks the direct-call paths take.
+    pub(crate) fn stripe_index(&self, key: &str) -> usize {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in key.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x100000001b3);
         }
-        &self.locks[(h as usize) % self.locks.len()]
+        (h as usize) % self.locks.len()
+    }
+
+    /// The stripe lock at `idx` (from [`DataGrid::stripe_index`]).
+    pub(crate) fn stripe_at(&self, idx: usize) -> &Mutex<()> {
+        &self.locks[idx]
+    }
+
+    /// Drop `key` from the volatile cache (used by the group committer,
+    /// whose writes bypass the write-through paths).
+    pub(crate) fn invalidate(&self, key: &str) {
+        if self.cache_enabled {
+            self.cache.remove(&key.to_string());
+        }
     }
 
     /// The backing store.

@@ -201,7 +201,7 @@ impl JnvmBackend {
         })
     }
 
-    fn shard_index(&self, key: &str) -> usize {
+    pub(crate) fn shard_index(&self, key: &str) -> usize {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in key.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x100000001b3);
@@ -220,6 +220,72 @@ impl JnvmBackend {
             f()
         }
     }
+
+    /// The runtime this backend writes through.
+    pub(crate) fn runtime(&self) -> &Jnvm {
+        &self.rt
+    }
+
+    /// True for the J-PFA flavour (every write in a failure-atomic block).
+    pub(crate) fn fa_enabled(&self) -> bool {
+        self.fa
+    }
+
+    /// Insert/replace body — caller provides atomicity (a failure-atomic
+    /// block or staging) and exclusion (the shard lock or group-former
+    /// shard disjointness).
+    fn do_put(&self, key: &str, values: &[Vec<u8>]) -> bool {
+        let Ok(prec) = PRecord::create(&self.rt, values) else {
+            return false;
+        };
+        match self.shard(key).put(key.to_string(), prec.addr()) {
+            Ok(Some(old)) => {
+                PRecord::free_deep(&self.rt, old);
+                true
+            }
+            Ok(None) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// Field-update body; same caller contract as [`JnvmBackend::do_put`].
+    fn do_set_field(&self, key: &str, field: usize, value: &[u8]) -> bool {
+        let Some(pv) = self.shard(key).get_value(&key.to_string()) else {
+            return false;
+        };
+        let prec = match pv {
+            PValue::Block(proxy) => PRecord::from_proxy(proxy),
+            PValue::Pooled(addr) => PRecord::resurrect(&self.rt, addr),
+        };
+        prec.set_field(field as u64, value).unwrap_or(false)
+    }
+
+    /// Removal body; same caller contract as [`JnvmBackend::do_put`].
+    fn do_remove(&self, key: &str) -> bool {
+        match self.shard(key).remove(&key.to_string()) {
+            Some(old) => {
+                PRecord::free_deep(&self.rt, old);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Apply one batched write. Called from inside a staged failure-atomic
+    /// block by [`crate::group::commit_writes`], which provides the
+    /// exclusion the direct paths get from the shard/stripe locks.
+    pub(crate) fn apply_op(&self, op: &crate::group::WriteOp) -> bool {
+        use crate::group::WriteOp;
+        match op {
+            WriteOp::Set(rec) => {
+                let values: Vec<Vec<u8>> =
+                    rec.fields.iter().map(|(_, v)| v.clone()).collect();
+                self.do_put(&rec.key, &values)
+            }
+            WriteOp::SetField { key, field, value } => self.do_set_field(key, *field, value),
+            WriteOp::Del(key) => self.do_remove(key),
+        }
+    }
 }
 
 impl Backend for JnvmBackend {
@@ -236,19 +302,7 @@ impl Backend for JnvmBackend {
         // Held across the whole failure-atomic block: the map put mutates
         // the shard's shared blocks (see the concurrency contract above).
         let _shard = self.shard_locks[self.shard_index(&rec.key)].lock();
-        self.with_fa(|| {
-            let Ok(prec) = PRecord::create(&self.rt, &values) else {
-                return false;
-            };
-            match self.shard(&rec.key).put(rec.key.clone(), prec.addr()) {
-                Ok(Some(old)) => {
-                    PRecord::free_deep(&self.rt, old);
-                    true
-                }
-                Ok(None) => true,
-                Err(_) => false,
-            }
-        })
+        self.with_fa(|| self.do_put(&rec.key, &values))
     }
 
     fn read(&self, key: &str) -> Option<Record> {
@@ -283,25 +337,12 @@ impl Backend for JnvmBackend {
     }
 
     fn update_field(&self, key: &str, field: usize, value: &[u8]) -> bool {
-        let Some(pv) = self.shard(key).get_value(&key.to_string()) else {
-            return false;
-        };
-        let prec = match pv {
-            PValue::Block(proxy) => PRecord::from_proxy(proxy),
-            PValue::Pooled(addr) => PRecord::resurrect(&self.rt, addr),
-        };
-        self.with_fa(|| prec.set_field(field as u64, value).unwrap_or(false))
+        self.with_fa(|| self.do_set_field(key, field, value))
     }
 
     fn remove(&self, key: &str) -> bool {
         let _shard = self.shard_locks[self.shard_index(key)].lock();
-        self.with_fa(|| match self.shard(key).remove(&key.to_string()) {
-            Some(old) => {
-                PRecord::free_deep(&self.rt, old);
-                true
-            }
-            None => false,
-        })
+        self.with_fa(|| self.do_remove(key))
     }
 
     fn len(&self) -> usize {

@@ -26,6 +26,7 @@
 mod backend;
 mod codec;
 mod grid;
+mod group;
 mod jnvm_backend;
 mod lru;
 mod pcj;
@@ -34,6 +35,7 @@ mod simfs;
 pub use backend::{Backend, NullFsBackend, VolatileBackend};
 pub use codec::{decode_record, encode_record, Record};
 pub use grid::{DataGrid, GridConfig, GridMetrics};
+pub use group::{commit_writes, BatchOutcome, WriteOp};
 pub use jnvm_backend::{register_kvstore, JnvmBackend, PRecord};
 pub use lru::{LruCache, ShardedLru};
 pub use pcj::PcjBackend;

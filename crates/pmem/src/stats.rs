@@ -106,6 +106,14 @@ impl StatsSnapshot {
             secondary_unwinds: self.secondary_unwinds.saturating_sub(earlier.secondary_unwinds),
         }
     }
+
+    /// Total ordering points the device saw: `pfence` + `psync`. This is
+    /// the denominator of the acked-durability assertion — group commit is
+    /// working when ordering points per acknowledged write sit well below
+    /// one under pipelined load.
+    pub fn ordering_points(&self) -> u64 {
+        self.pfences + self.psyncs
+    }
 }
 
 #[cfg(test)]

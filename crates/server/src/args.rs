@@ -1,0 +1,55 @@
+//! A tiny `--key value` flag parser for the server binaries (same shape as
+//! the one the bench harnesses use; kept local to avoid a dependency cycle
+//! with `jnvm-bench`, which links this crate for its scaling bench).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments. Accepts `--key value` and
+    /// `--key=value`; bare flags get the value `"true"`.
+    pub fn parse() -> Args {
+        Args::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (tests).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut flags = HashMap::new();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                continue;
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                flags.insert(key.to_string(), it.next().expect("peeked"));
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+            }
+        }
+        Args { flags }
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Typed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag (present or `--key true`).
+    pub fn has(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+}

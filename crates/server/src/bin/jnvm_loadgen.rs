@@ -1,0 +1,155 @@
+//! `jnvm-loadgen`: pipelined load generator and kill-during-traffic
+//! driver for `jnvm-server`.
+//!
+//! Three modes:
+//!
+//! ```text
+//! # against an already-running server
+//! jnvm-loadgen --addr 127.0.0.1:41234 [--conns 4] [--ops 200] ...
+//!
+//! # spin up a server in-process, load it, report fences per acked write
+//! jnvm-loadgen --self-host [--conns 4] [--ops 200] ...
+//!
+//! # one kill-during-traffic experiment (or a whole sweep)
+//! jnvm-loadgen --kill-at 1234
+//! jnvm-loadgen --kill-sweep 25        # 25 strided points over the op space
+//! ```
+
+use std::sync::Arc;
+
+use jnvm::JnvmBuilder;
+use jnvm_heap::HeapConfig;
+use jnvm_kvstore::{register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend};
+use jnvm_pmem::{Pmem, PmemConfig};
+use jnvm_server::{
+    kill_during_traffic, run_loadgen, traffic_op_count, Args, LoadReport, LoadgenConfig, Server,
+    ServerConfig, TortureConfig,
+};
+
+fn load_cfg(args: &Args) -> LoadgenConfig {
+    LoadgenConfig {
+        conns: args.get_or("conns", 4),
+        ops_per_conn: args.get_or("ops", 200),
+        pipeline: args.get_or("pipeline", 16),
+        fields: args.get_or("fields", 4),
+        value_size: args.get_or("value-size", 64),
+    }
+}
+
+fn torture_cfg(args: &Args) -> TortureConfig {
+    TortureConfig {
+        load: load_cfg(args),
+        shards: args.get_or("shards", 16),
+        pool_bytes: args.get_or::<u64>("pool-mb", 64) << 20,
+        server: ServerConfig {
+            batch_max: args.get_or("batch-max", 64),
+            queue_cap: args.get_or("queue-cap", 256),
+        },
+    }
+}
+
+fn print_report(report: &LoadReport) {
+    let replied: usize = report.per_conn.iter().map(|c| c.replied()).sum();
+    let sent: usize = report.per_conn.iter().map(|c| c.sent).sum();
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "sent={} replied={} acked_writes={} errors={} elapsed={:.3}s rate={:.0} op/s",
+        sent,
+        replied,
+        report.acked_writes,
+        report.errors,
+        secs,
+        replied as f64 / secs
+    );
+    println!("latency {}", report.hist.summary().display_us());
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = load_cfg(&args);
+
+    if let Some(point) = args.get("kill-at") {
+        let point: u64 = point.parse().expect("--kill-at takes an op index");
+        match kill_during_traffic(point, &torture_cfg(&args)) {
+            Ok(r) => println!(
+                "point {point}: ok (injected={} acked={} keys_checked={} ops_counted={})",
+                r.injected, r.acked_writes, r.keys_checked, r.ops_counted
+            ),
+            Err(e) => {
+                eprintln!("point {point}: FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if args.get("kill-sweep").is_some() {
+        let points: u64 = args.get_or("kill-sweep", 25);
+        let tcfg = torture_cfg(&args);
+        let total = traffic_op_count(&tcfg);
+        println!("op space ~{total}; sweeping {points} strided points");
+        let mut failures = 0u32;
+        for k in 0..points {
+            let point = 1 + k * total.max(1) / points.max(1);
+            match kill_during_traffic(point, &tcfg) {
+                Ok(r) => println!(
+                    "point {point}: ok (injected={} acked={} keys={})",
+                    r.injected, r.acked_writes, r.keys_checked
+                ),
+                Err(e) => {
+                    eprintln!("point {point}: FAILED: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        if failures > 0 {
+            eprintln!("{failures} point(s) failed");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.has("self-host") {
+        let pool_mb: u64 = args.get_or("pool-mb", 256);
+        let shards: usize = args.get_or("shards", 16);
+        let scfg = ServerConfig {
+            batch_max: args.get_or("batch-max", 64),
+            queue_cap: args.get_or("queue-cap", 256),
+        };
+        let pmem = Pmem::new(PmemConfig::crash_sim(pool_mb << 20));
+        let rt = register_kvstore(JnvmBuilder::new())
+            .create(Arc::clone(&pmem), HeapConfig::default())
+            .expect("create pool");
+        let be = Arc::new(JnvmBackend::create(&rt, shards.max(1), true).expect("create backend"));
+        let grid = Arc::new(DataGrid::new(
+            Arc::clone(&be) as Arc<dyn Backend>,
+            GridConfig {
+                cache_capacity: 0,
+                ..GridConfig::default()
+            },
+        ));
+        let before = pmem.stats();
+        let server = Server::start(grid, Arc::clone(&be), Arc::clone(&pmem), scfg)
+            .expect("bind server");
+        let report = run_loadgen(server.addr(), &cfg);
+        let stats = server.stats();
+        server.shutdown();
+        let d = pmem.stats().delta(&before);
+        print_report(&report);
+        println!(
+            "groups={} batches={} ordering_points={} per_acked_write={:.4}",
+            stats.groups,
+            stats.batches,
+            d.ordering_points(),
+            d.ordering_points() as f64 / report.acked_writes.max(1) as f64
+        );
+        return;
+    }
+
+    let addr = args
+        .get("addr")
+        .expect("--addr host:port (or --self-host / --kill-at / --kill-sweep)")
+        .parse()
+        .expect("--addr must be host:port");
+    print_report(&run_loadgen(addr, &cfg));
+}

@@ -1,0 +1,73 @@
+//! Standalone `jnvm-server`: a persistent KV store behind a TCP wire
+//! protocol, with group commit on the write path.
+//!
+//! ```text
+//! jnvm-server [--pool-mb 256] [--shards 16] [--batch-max 64]
+//!             [--queue-cap 256] [--no-fa]
+//! ```
+//!
+//! Binds an ephemeral localhost port and prints `listening on <addr>`;
+//! drive it with `jnvm-loadgen --addr <addr>` or any client speaking the
+//! protocol in `jnvm_server::proto`. A SHUTDOWN frame stops it and dumps
+//! the final STATS block.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jnvm::JnvmBuilder;
+use jnvm_heap::HeapConfig;
+use jnvm_kvstore::{register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend};
+use jnvm_pmem::{Pmem, PmemConfig};
+use jnvm_server::{Args, Server, ServerConfig};
+
+fn main() {
+    let args = Args::parse();
+    let pool_mb: u64 = args.get_or("pool-mb", 256);
+    let shards: usize = args.get_or("shards", 16);
+    let fa = !args.has("no-fa");
+    let cfg = ServerConfig {
+        batch_max: args.get_or("batch-max", 64),
+        queue_cap: args.get_or("queue-cap", 256),
+    };
+
+    let pmem = Pmem::new(PmemConfig::crash_sim(pool_mb << 20));
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .expect("create pool");
+    let be = Arc::new(JnvmBackend::create(&rt, shards.max(1), fa).expect("create backend"));
+    let grid = Arc::new(DataGrid::new(
+        Arc::clone(&be) as Arc<dyn Backend>,
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    ));
+    let server = Server::start(grid, Arc::clone(&be), Arc::clone(&pmem), cfg)
+        .expect("bind server");
+    println!("listening on {}", server.addr());
+    println!(
+        "pool={} MiB shards={} fa={} batch_max={} queue_cap={}",
+        pool_mb, shards, fa, cfg.batch_max, cfg.queue_cap
+    );
+
+    while !server.shutdown_requested() && !server.is_dead() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = server.stats();
+    server.shutdown();
+    let d = pmem.stats();
+    println!(
+        "acked_writes={} nacked={} failed={} groups={} batches={} conns={}",
+        stats.acked_writes,
+        stats.nacked_writes,
+        stats.failed_writes,
+        stats.groups,
+        stats.batches,
+        stats.connections
+    );
+    println!(
+        "ordering_points={} per_acked_write={:.4}",
+        d.ordering_points(),
+        d.ordering_points() as f64 / stats.acked_writes.max(1) as f64
+    );
+}

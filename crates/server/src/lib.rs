@@ -1,0 +1,44 @@
+//! # jnvm-server — a wire-protocol persistent KV server with group commit
+//!
+//! The serving layer the ROADMAP's north star asks for: a TCP front end
+//! over the [`jnvm_kvstore::DataGrid`] + [`jnvm_kvstore::JnvmBackend`]
+//! stack, speaking a small length-prefixed protocol
+//! (GET/SET/SETF/DEL/LEN/STATS/SHUTDOWN) with per-connection pipelining
+//! and bounded-queue backpressure.
+//!
+//! ## Acked ⇒ durable
+//!
+//! The server's write path is built around one invariant: **a reply is
+//! released only after the write's group durability point**. Worker
+//! (connection) threads never touch the persistent device on the write
+//! path — they decode ops and enqueue them. A single committer thread
+//! drains the queue and runs [`jnvm_kvstore::commit_writes`], which stages
+//! each op as its own failure-atomic block and commits whole groups behind
+//! a shared fence pair. Only when the group call returns (staging flushed,
+//! commit points durable, entries applied) are the batch's tickets
+//! resolved and the OK replies sent. A crash at *any* device operation
+//! therefore cannot lose an acknowledged write — exactly what the
+//! kill-during-traffic torture in [`torture`] sweeps for.
+//!
+//! Group commit is also the amortization story: `k` pipelined writes cost
+//! 3 fences per *group*, not 3 per op, so ordering points per acked write
+//! drop well below one under load (asserted via `jnvm-pmem` stats).
+//!
+//! The crate ships two binaries — `jnvm-server` (standalone server over a
+//! fresh crash-sim pool) and `jnvm-loadgen` (pipelined load generator,
+//! with a self-hosted kill-during-traffic mode) — and the [`loadgen`] /
+//! [`torture`] libraries the tests and CI drive.
+
+pub mod args;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+pub mod torture;
+
+pub use args::Args;
+pub use loadgen::{run_loadgen, ConnReport, LoadReport, LoadgenConfig};
+pub use proto::{
+    encode_reply, encode_request, parse_frame, parse_reply, ParseOutcome, Reply, Request,
+};
+pub use server::{Server, ServerConfig, ServerStats};
+pub use torture::{kill_during_traffic, traffic_op_count, KillReport, TortureConfig};

@@ -1,0 +1,281 @@
+//! The pipelined load generator (client side of the wire protocol).
+//!
+//! Traffic is **deterministic** given `(connection, op index)` — the
+//! kill-during-traffic verifier in [`crate::torture`] recomputes every
+//! expected record from the same functions ([`key_for`], [`value_for`],
+//! [`op_for`]) and compares against what survived recovery.
+//!
+//! Per connection, op `i` is:
+//!
+//! | `i % 10` | op |
+//! |---|---|
+//! | 4 | `DEL key(i-1)` |
+//! | 7 | `GET key(i-1)` (read-your-writes probe) |
+//! | 9 | `SETF key(i-1) field0` |
+//! | else | `SET key(i)` with `fields` deterministic values |
+//!
+//! Replies come back strictly in request order, so the set of *replied*
+//! ops is a prefix of the sent ops — an `Ok`-acked write is by protocol
+//! durable, and everything after the first error/silence is unknown.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use jnvm_kvstore::Record;
+use jnvm_ycsb::Histogram;
+
+use crate::proto::{encode_request, parse_reply, Reply, Request};
+
+/// Load shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Requests per connection.
+    pub ops_per_conn: usize,
+    /// Pipeline window: unreplied requests kept in flight.
+    pub pipeline: usize,
+    /// Fields per SET record.
+    pub fields: usize,
+    /// Bytes per field value.
+    pub value_size: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            conns: 4,
+            ops_per_conn: 200,
+            pipeline: 16,
+            fields: 4,
+            value_size: 64,
+        }
+    }
+}
+
+/// What one request ended up as, client-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// No reply arrived (crash, shutdown, or connection cut).
+    NoReply,
+    /// Write acked — durable by protocol contract.
+    Ok,
+    /// GET/LEN returned a payload that matched expectations.
+    Value,
+    /// GET returned a payload that did **not** match the expected record.
+    BadRead,
+    /// Target absent.
+    NotFound,
+    /// Server answered an error.
+    Err,
+}
+
+/// One connection's outcome.
+#[derive(Debug, Clone)]
+pub struct ConnReport {
+    /// Connection index.
+    pub conn: usize,
+    /// Requests actually written to the socket.
+    pub sent: usize,
+    /// Per-op outcomes, indexed by op index; length `ops_per_conn`.
+    pub outcomes: Vec<OpOutcome>,
+    /// Reply latency histogram (ns).
+    pub hist: Histogram,
+}
+
+impl ConnReport {
+    /// Replies received (a prefix of the sent ops).
+    pub fn replied(&self) -> usize {
+        self.outcomes
+            .iter()
+            .take_while(|o| **o != OpOutcome::NoReply)
+            .count()
+    }
+}
+
+/// Aggregated run outcome.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-connection detail.
+    pub per_conn: Vec<ConnReport>,
+    /// Merged latency histogram across connections.
+    pub hist: Histogram,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// `Ok`-acked writes across connections.
+    pub acked_writes: u64,
+    /// Error replies + bad reads across connections.
+    pub errors: u64,
+}
+
+/// The key op `i` of connection `conn` creates (for SET indices).
+pub fn key_for(conn: usize, i: usize) -> String {
+    format!("c{conn}-{i:06}")
+}
+
+/// Deterministic value bytes for `(conn, op, field)`.
+pub fn value_for(conn: usize, i: usize, field: usize, len: usize) -> Vec<u8> {
+    let mut x = 0xcbf29ce484222325u64
+        ^ (conn as u64).wrapping_mul(0x100000001b3)
+        ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)
+        ^ (field as u64).wrapping_mul(0xd1b54a32d192ed03);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.push((x >> 33) as u8);
+    }
+    out
+}
+
+/// The deterministic request for `(conn, i)`.
+pub fn op_for(conn: usize, i: usize, cfg: &LoadgenConfig) -> Request {
+    match i % 10 {
+        4 if i > 0 => Request::Del(key_for(conn, i - 1)),
+        7 if i > 0 => Request::Get(key_for(conn, i - 1)),
+        9 if i > 0 => Request::SetField {
+            key: key_for(conn, i - 1),
+            field: 0,
+            value: value_for(conn, i, 0, cfg.value_size),
+        },
+        _ => {
+            let values: Vec<Vec<u8>> = (0..cfg.fields.max(1))
+                .map(|f| value_for(conn, i, f, cfg.value_size))
+                .collect();
+            Request::Set(Record::ycsb(&key_for(conn, i), &values))
+        }
+    }
+}
+
+/// The record op `i` of connection `conn` would GET (for `i % 10 == 7`).
+fn expected_get(conn: usize, i: usize, cfg: &LoadgenConfig) -> Record {
+    let values: Vec<Vec<u8>> = (0..cfg.fields.max(1))
+        .map(|f| value_for(conn, i - 1, f, cfg.value_size))
+        .collect();
+    Record::ycsb(&key_for(conn, i - 1), &values)
+}
+
+fn read_reply(stream: &mut TcpStream, rbuf: &mut Vec<u8>) -> Option<Reply> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut tmp = [0u8; 8 * 1024];
+    loop {
+        match parse_reply(rbuf) {
+            Ok(Some((reply, n))) => {
+                rbuf.drain(..n);
+                return Some(reply);
+            }
+            Ok(None) => {}
+            Err(_) => return None,
+        }
+        if Instant::now() > deadline {
+            return None;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(n) => rbuf.extend_from_slice(&tmp[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
+    let mut report = ConnReport {
+        conn,
+        sent: 0,
+        outcomes: vec![OpOutcome::NoReply; cfg.ops_per_conn],
+        hist: Histogram::new(),
+    };
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return report;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+
+    let mut window: std::collections::VecDeque<(usize, Instant)> = Default::default();
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut dead = false;
+
+    let settle =
+        |report: &mut ConnReport, window: &mut std::collections::VecDeque<(usize, Instant)>,
+         stream: &mut TcpStream, rbuf: &mut Vec<u8>| {
+            let Some(reply) = read_reply(stream, rbuf) else {
+                return false;
+            };
+            let (i, sent_at) = window.pop_front().expect("reply without request");
+            report.hist.record(sent_at.elapsed().as_nanos() as u64);
+            report.outcomes[i] = match reply {
+                Reply::Ok => OpOutcome::Ok,
+                Reply::NotFound => OpOutcome::NotFound,
+                Reply::Err(_) => OpOutcome::Err,
+                Reply::Value(payload) => {
+                    // Read-your-writes probe: the GET rides behind this
+                    // connection's acked SET, so the payload must match.
+                    if jnvm_kvstore::decode_record(&payload).as_ref()
+                        == Some(&expected_get(conn, i, cfg))
+                    {
+                        OpOutcome::Value
+                    } else {
+                        OpOutcome::BadRead
+                    }
+                }
+            };
+            true
+        };
+
+    for i in 0..cfg.ops_per_conn {
+        let frame = encode_request(&op_for(conn, i, cfg));
+        if stream.write_all(&frame).is_err() {
+            dead = true;
+            break;
+        }
+        report.sent += 1;
+        window.push_back((i, Instant::now()));
+        while window.len() >= cfg.pipeline.max(1) {
+            if !settle(&mut report, &mut window, &mut stream, &mut rbuf) {
+                dead = true;
+                break;
+            }
+        }
+        if dead {
+            break;
+        }
+    }
+    while !dead && !window.is_empty() {
+        if !settle(&mut report, &mut window, &mut stream, &mut rbuf) {
+            break;
+        }
+    }
+    report
+}
+
+/// Run the configured load against `addr`; one thread per connection.
+pub fn run_loadgen(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadReport {
+    let t0 = Instant::now();
+    let per_conn: Vec<ConnReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|c| s.spawn(move || run_conn(addr, c, cfg)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("conn thread")).collect()
+    });
+    let mut hist = Histogram::new();
+    let mut acked_writes = 0u64;
+    let mut errors = 0u64;
+    for c in &per_conn {
+        hist.merge(&c.hist);
+        for o in &c.outcomes {
+            match o {
+                OpOutcome::Ok => acked_writes += 1,
+                OpOutcome::Err | OpOutcome::BadRead => errors += 1,
+                _ => {}
+            }
+        }
+    }
+    LoadReport {
+        per_conn,
+        hist,
+        elapsed: t0.elapsed(),
+        acked_writes,
+        errors,
+    }
+}

@@ -1,0 +1,374 @@
+//! The wire protocol: length-prefixed binary frames, RESP-in-spirit.
+//!
+//! ```text
+//! request  = [magic u8 = 0x4e][op u8][len u32 LE][body: len bytes]
+//! reply    = [status u8][len u32 LE][payload: len bytes]
+//! ```
+//!
+//! | op | name | body |
+//! |---|---|---|
+//! | 1 | GET | key bytes |
+//! | 2 | SET | [`encode_record`] bytes |
+//! | 3 | SETF | `[field u32][keylen u32][key][value...]` |
+//! | 4 | DEL | key bytes |
+//! | 5 | LEN | empty |
+//! | 6 | STATS | empty |
+//! | 7 | SHUTDOWN | empty |
+//!
+//! Two malformation tiers, exercised by the robustness tests:
+//!
+//! * **frame-level** (bad magic, unknown op, oversized length): the stream
+//!   is unparseable from here on — [`ParseOutcome::Malformed`], the server
+//!   closes the connection;
+//! * **body-level** (undecodable record, oversized key/value/field-count):
+//!   the frame boundary is still sound — [`Request::Invalid`], the server
+//!   replies [`Reply::Err`] and keeps the connection.
+
+use jnvm_kvstore::{decode_record, encode_record, Record};
+
+/// First byte of every request frame.
+pub const MAGIC: u8 = 0x4e;
+
+/// Hard cap on a frame body; larger lengths are treated as an attack (a
+/// 4 GiB length word must not cause a 4 GiB buffer).
+pub const MAX_FRAME: usize = 1 << 20;
+/// Maximum key bytes.
+pub const MAX_KEY: usize = 4 << 10;
+/// Maximum single-value bytes.
+pub const MAX_VALUE: usize = 64 << 10;
+/// Maximum fields per record.
+pub const MAX_FIELDS: usize = 64;
+
+const OP_GET: u8 = 1;
+const OP_SET: u8 = 2;
+const OP_SETF: u8 = 3;
+const OP_DEL: u8 = 4;
+const OP_LEN: u8 = 5;
+const OP_STATS: u8 = 6;
+const OP_SHUTDOWN: u8 = 7;
+
+const ST_OK: u8 = 0;
+const ST_VALUE: u8 = 1;
+const ST_NOT_FOUND: u8 = 2;
+const ST_ERR: u8 = 3;
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read a record.
+    Get(String),
+    /// Insert/replace a record.
+    Set(Record),
+    /// Replace one positional field.
+    SetField {
+        /// Record key.
+        key: String,
+        /// Positional field index.
+        field: usize,
+        /// New field bytes.
+        value: Vec<u8>,
+    },
+    /// Remove a record.
+    Del(String),
+    /// Record count.
+    Len,
+    /// Server/device/grid counters as text.
+    Stats,
+    /// Orderly shutdown.
+    Shutdown,
+    /// Frame was delimited correctly but its body violates a limit or does
+    /// not decode; the server answers [`Reply::Err`] and carries on.
+    Invalid(&'static str),
+}
+
+/// One step of the pipelined frame parser.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// Not enough buffered bytes for a whole frame yet.
+    Incomplete,
+    /// A frame: the request and how many buffer bytes it consumed.
+    Frame(Request, usize),
+    /// The stream is unparseable; the connection must be dropped.
+    Malformed(&'static str),
+}
+
+fn utf8_key(bytes: &[u8]) -> Result<String, &'static str> {
+    if bytes.len() > MAX_KEY {
+        return Err("key too long");
+    }
+    String::from_utf8(bytes.to_vec()).map_err(|_| "key not utf-8")
+}
+
+/// Try to parse one frame from the front of `buf`.
+pub fn parse_frame(buf: &[u8]) -> ParseOutcome {
+    if buf.is_empty() {
+        return ParseOutcome::Incomplete;
+    }
+    if buf[0] != MAGIC {
+        return ParseOutcome::Malformed("bad magic");
+    }
+    if buf.len() < 6 {
+        return ParseOutcome::Incomplete;
+    }
+    let op = buf[1];
+    let len = u32::from_le_bytes(buf[2..6].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return ParseOutcome::Malformed("frame too large");
+    }
+    if buf.len() < 6 + len {
+        return ParseOutcome::Incomplete;
+    }
+    let body = &buf[6..6 + len];
+    let consumed = 6 + len;
+    let req = match op {
+        OP_GET | OP_DEL => match utf8_key(body) {
+            Ok(key) if op == OP_GET => Request::Get(key),
+            Ok(key) => Request::Del(key),
+            Err(e) => Request::Invalid(e),
+        },
+        OP_SET => match decode_record(body) {
+            Some(rec) if rec.key.len() > MAX_KEY => Request::Invalid("key too long"),
+            Some(rec) if rec.fields.len() > MAX_FIELDS => Request::Invalid("too many fields"),
+            Some(rec) if rec.fields.iter().any(|(_, v)| v.len() > MAX_VALUE) => {
+                Request::Invalid("value too large")
+            }
+            Some(rec) => Request::Set(rec),
+            None => Request::Invalid("record does not decode"),
+        },
+        OP_SETF => parse_setf(body),
+        OP_LEN => Request::Len,
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        _ => return ParseOutcome::Malformed("unknown op"),
+    };
+    ParseOutcome::Frame(req, consumed)
+}
+
+fn parse_setf(body: &[u8]) -> Request {
+    if body.len() < 8 {
+        return Request::Invalid("setf body truncated");
+    }
+    let field = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+    let keylen = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as usize;
+    if keylen > body.len() - 8 {
+        return Request::Invalid("setf key overruns body");
+    }
+    let key = match utf8_key(&body[8..8 + keylen]) {
+        Ok(k) => k,
+        Err(e) => return Request::Invalid(e),
+    };
+    let value = &body[8 + keylen..];
+    if field >= MAX_FIELDS {
+        return Request::Invalid("field index too large");
+    }
+    if value.len() > MAX_VALUE {
+        return Request::Invalid("value too large");
+    }
+    Request::SetField {
+        key,
+        field,
+        value: value.to_vec(),
+    }
+}
+
+/// Encode a request frame (client side).
+///
+/// # Panics
+///
+/// Panics on [`Request::Invalid`] — it exists only as a parse result.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let (op, body): (u8, Vec<u8>) = match req {
+        Request::Get(key) => (OP_GET, key.as_bytes().to_vec()),
+        Request::Set(rec) => (OP_SET, encode_record(rec)),
+        Request::SetField { key, field, value } => {
+            let mut b = Vec::with_capacity(8 + key.len() + value.len());
+            b.extend_from_slice(&(*field as u32).to_le_bytes());
+            b.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            b.extend_from_slice(key.as_bytes());
+            b.extend_from_slice(value);
+            (OP_SETF, b)
+        }
+        Request::Del(key) => (OP_DEL, key.as_bytes().to_vec()),
+        Request::Len => (OP_LEN, Vec::new()),
+        Request::Stats => (OP_STATS, Vec::new()),
+        Request::Shutdown => (OP_SHUTDOWN, Vec::new()),
+        Request::Invalid(m) => panic!("cannot encode Invalid({m})"),
+    };
+    let mut out = Vec::with_capacity(6 + body.len());
+    out.push(MAGIC);
+    out.push(op);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// A decoded reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Write/shutdown acknowledged. For writes this means **durable**.
+    Ok,
+    /// GET/LEN/STATS payload.
+    Value(Vec<u8>),
+    /// GET/SETF/DEL target absent.
+    NotFound,
+    /// Request failed; the payload is a human-readable reason.
+    Err(String),
+}
+
+/// Encode a reply frame (server side).
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let (status, payload): (u8, &[u8]) = match reply {
+        Reply::Ok => (ST_OK, &[]),
+        Reply::Value(v) => (ST_VALUE, v),
+        Reply::NotFound => (ST_NOT_FOUND, &[]),
+        Reply::Err(m) => (ST_ERR, m.as_bytes()),
+    };
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(status);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Try to parse one reply from the front of `buf` (client side). Returns
+/// the reply and bytes consumed, `Ok(None)` when incomplete, `Err` when
+/// the stream is unparseable.
+pub fn parse_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, &'static str> {
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let status = buf[0];
+    let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err("reply too large");
+    }
+    if buf.len() < 5 + len {
+        return Ok(None);
+    }
+    let payload = buf[5..5 + len].to_vec();
+    let reply = match status {
+        ST_OK => Reply::Ok,
+        ST_VALUE => Reply::Value(payload),
+        ST_NOT_FOUND => Reply::NotFound,
+        ST_ERR => Reply::Err(String::from_utf8_lossy(&payload).into_owned()),
+        _ => return Err("unknown reply status"),
+    };
+    Ok(Some((reply, 5 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(req: &Request) -> Request {
+        match parse_frame(&encode_request(req)) {
+            ParseOutcome::Frame(r, n) => {
+                assert_eq!(n, encode_request(req).len());
+                r
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Get("k".into()),
+            Request::Set(Record::ycsb("k", &[b"v".to_vec(), vec![]])),
+            Request::SetField {
+                key: "k".into(),
+                field: 3,
+                value: b"xyz".to_vec(),
+            },
+            Request::Del("k".into()),
+            Request::Len,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in &reqs {
+            assert_eq!(&frame(r), r);
+        }
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        for r in [
+            Reply::Ok,
+            Reply::Value(b"abc".to_vec()),
+            Reply::NotFound,
+            Reply::Err("nope".into()),
+        ] {
+            let bytes = encode_reply(&r);
+            let (back, n) = parse_reply(&bytes).unwrap().unwrap();
+            assert_eq!(back, r);
+            assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_parse_in_sequence() {
+        let mut buf = encode_request(&Request::Get("a".into()));
+        buf.extend(encode_request(&Request::Del("b".into())));
+        let ParseOutcome::Frame(r1, n1) = parse_frame(&buf) else {
+            panic!()
+        };
+        assert_eq!(r1, Request::Get("a".into()));
+        let ParseOutcome::Frame(r2, n2) = parse_frame(&buf[n1..]) else {
+            panic!()
+        };
+        assert_eq!(r2, Request::Del("b".into()));
+        assert_eq!(n1 + n2, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_incomplete_not_malformed() {
+        let bytes = encode_request(&Request::Set(Record::ycsb("k", &[vec![9u8; 40]])));
+        for cut in 0..bytes.len() {
+            match parse_frame(&bytes[..cut]) {
+                ParseOutcome::Incomplete => {}
+                other => panic!("cut {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_level_garbage_is_malformed() {
+        assert!(matches!(
+            parse_frame(b"\x00rubbish"),
+            ParseOutcome::Malformed("bad magic")
+        ));
+        assert!(matches!(
+            parse_frame(&[MAGIC, 99, 0, 0, 0, 0]),
+            ParseOutcome::Malformed("unknown op")
+        ));
+        let mut huge = vec![MAGIC, OP_GET];
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            parse_frame(&huge),
+            ParseOutcome::Malformed("frame too large")
+        ));
+    }
+
+    #[test]
+    fn body_level_violations_are_invalid_not_malformed() {
+        // Oversized value inside a well-delimited SET frame.
+        let rec = Record::ycsb("k", &[vec![0u8; MAX_VALUE + 1]]);
+        let bytes = encode_request(&Request::Set(rec));
+        assert!(matches!(
+            parse_frame(&bytes),
+            ParseOutcome::Frame(Request::Invalid("value too large"), _)
+        ));
+        // SETF key length overrunning the body.
+        let mut body = Vec::new();
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&1000u32.to_le_bytes());
+        body.extend_from_slice(b"shortkey");
+        let mut f = vec![MAGIC, OP_SETF];
+        f.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        f.extend_from_slice(&body);
+        assert!(matches!(
+            parse_frame(&f),
+            ParseOutcome::Frame(Request::Invalid("setf key overruns body"), _)
+        ));
+    }
+}

@@ -1,0 +1,547 @@
+//! The server: acceptor + per-connection handler threads + one committer.
+//!
+//! ## Write path and the ack barrier
+//!
+//! Connection handlers never touch the persistent device for writes. They
+//! decode ops, enqueue them on a bounded queue (backpressure: producers
+//! block while it is full) and hold a *ticket* per op. The committer
+//! drains up to `batch_max` ops, runs [`jnvm_kvstore::commit_writes`]
+//! (group commit: 3 fences per group, not per op) and resolves the batch's
+//! tickets only after that call returns — i.e. after the group durability
+//! point *and* the apply phase, so a subsequent GET on the same connection
+//! reads its own writes. Handlers release replies strictly in request
+//! order: writes when their ticket resolves, reads executed inline after
+//! every earlier write on the connection has been acked.
+//!
+//! ## Crash behaviour
+//!
+//! Every thread that can touch the device runs under
+//! [`jnvm_pmem::catch_crash`]. When the fault-injection engine fires (or a
+//! secondary thread trips over the frozen device), the committer marks the
+//! server dead, fails every queued ticket, and handlers answer
+//! [`Reply::Err`] — never `Ok` — for writes that missed the durability
+//! point. The kill-during-traffic torture checks exactly this contract.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use jnvm_kvstore::{commit_writes, encode_record, Backend, DataGrid, JnvmBackend, WriteOp};
+use jnvm_pmem::{catch_crash, Pmem};
+use jnvm_ycsb::Histogram;
+
+use crate::proto::{encode_reply, parse_frame, ParseOutcome, Reply, Request};
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum ops the committer drains into one batch.
+    pub batch_max: usize,
+    /// Bounded-queue capacity; producers block (backpressure) beyond it.
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch_max: 64,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// Counters the server exports (also rendered by STATS).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Writes acknowledged `Ok` — each one durable before its reply left.
+    pub acked_writes: u64,
+    /// Writes answered `NotFound` (absent SETF/DEL target).
+    pub nacked_writes: u64,
+    /// Writes answered `Err` (crash before the durability point).
+    pub failed_writes: u64,
+    /// Commit groups issued (3 ordering fences each on the FA path).
+    pub groups: u64,
+    /// Batches drained by the committer.
+    pub batches: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TicketState {
+    Waiting,
+    /// Committed and durable; `true` = applied, `false` = target absent.
+    Done(bool),
+    /// The server died before this op's durability point.
+    Failed,
+}
+
+struct Ticket {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Ticket {
+        Ticket {
+            state: Mutex::new(TicketState::Waiting),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, s: TicketState) {
+        *self.state.lock().expect("ticket lock") = s;
+        self.cv.notify_all();
+    }
+
+    /// Block until resolved. The committer resolves every ticket it ever
+    /// dequeues (including on the crash path), so the timeout loop is only
+    /// a backstop against the server dying between enqueue and dequeue.
+    fn wait(&self, shared: &Shared) -> TicketState {
+        let mut st = self.state.lock().expect("ticket lock");
+        loop {
+            match *st {
+                TicketState::Waiting => {}
+                resolved => return resolved,
+            }
+            if shared.dead.load(Ordering::Acquire) {
+                return TicketState::Failed;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("ticket wait");
+            st = g;
+        }
+    }
+}
+
+struct Pending {
+    op: WriteOp,
+    ticket: Arc<Ticket>,
+}
+
+struct Shared {
+    grid: Arc<DataGrid>,
+    be: Arc<JnvmBackend>,
+    pmem: Arc<Pmem>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    /// Committer waits here for work.
+    queue_cv: Condvar,
+    /// Producers wait here for queue space.
+    space_cv: Condvar,
+    shutdown: AtomicBool,
+    dead: AtomicBool,
+    acked_writes: AtomicU64,
+    nacked_writes: AtomicU64,
+    failed_writes: AtomicU64,
+    groups: AtomicU64,
+    batches: AtomicU64,
+    connections: AtomicU64,
+    /// Per-connection write ack-latency histograms, merged at conn close.
+    latency: Mutex<Histogram>,
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] leaks the
+/// listener thread until process exit; tests always call `shutdown`.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    committer: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:0` (ephemeral port) and start serving `grid`/`be`.
+    /// `be` must be the backend `grid` was built over; all writes to it
+    /// must flow through this server while it runs (the group committer's
+    /// exclusive-writer contract).
+    pub fn start(
+        grid: Arc<DataGrid>,
+        be: Arc<JnvmBackend>,
+        pmem: Arc<Pmem>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            grid,
+            be,
+            pmem,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            acked_writes: AtomicU64::new(0),
+            nacked_writes: AtomicU64::new(0),
+            failed_writes: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            latency: Mutex::new(Histogram::new()),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let committer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || committer_loop(&shared))
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::spawn(move || acceptor_loop(listener, &shared, &handlers))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            committer: Some(committer),
+            handlers,
+        })
+    }
+
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True after a (simulated) crash killed the write path.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::Acquire)
+    }
+
+    /// True once shutdown was requested (SHUTDOWN frame or [`Server::shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        snapshot(&self.shared)
+    }
+
+    /// Merged write ack-latency histogram of all *closed* connections.
+    pub fn latency(&self) -> Histogram {
+        self.shared.latency.lock().expect("latency lock").clone()
+    }
+
+    /// Stop accepting, drain queued writes, join every thread.
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.shared);
+        // Unblock the acceptor's blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for h in self.handlers.lock().expect("handlers lock").drain(..) {
+            let _ = h.join();
+        }
+        if let Some(c) = self.committer.take() {
+            let _ = c.join();
+        }
+    }
+}
+
+fn request_shutdown(shared: &Shared) {
+    // Under the queue lock so the committer's empty-queue exit check and
+    // the producers' reject check see a consistent flag.
+    let _q = shared.queue.lock().expect("queue lock");
+    shared.shutdown.store(true, Ordering::Release);
+    shared.queue_cv.notify_all();
+    shared.space_cv.notify_all();
+}
+
+fn snapshot(shared: &Shared) -> ServerStats {
+    ServerStats {
+        acked_writes: shared.acked_writes.load(Ordering::Relaxed),
+        nacked_writes: shared.nacked_writes.load(Ordering::Relaxed),
+        failed_writes: shared.failed_writes.load(Ordering::Relaxed),
+        groups: shared.groups.load(Ordering::Relaxed),
+        batches: shared.batches.load(Ordering::Relaxed),
+        connections: shared.connections.load(Ordering::Relaxed),
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let h = std::thread::spawn(move || {
+            // A crash point can fire under this thread (a GET against the
+            // frozen device, or the armed op itself): unwind here, mark the
+            // server dead, drop the connection.
+            if catch_crash(|| handle_conn(&shared, stream)).is_err() {
+                shared.dead.store(true, Ordering::Release);
+            }
+        });
+        handlers.lock().expect("handlers lock").push(h);
+    }
+}
+
+fn committer_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Pending> = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) || shared.dead.load(Ordering::Acquire)
+                {
+                    return;
+                }
+                let (g, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("queue wait");
+                q = g;
+            }
+            let n = q.len().min(shared.cfg.batch_max);
+            let batch: Vec<Pending> = q.drain(..n).collect();
+            shared.space_cv.notify_all();
+            batch
+        };
+        let ops: Vec<WriteOp> = batch.iter().map(|p| p.op.clone()).collect();
+        match catch_crash(|| commit_writes(&shared.grid, &shared.be, &ops)) {
+            Ok(out) => {
+                // The group durability point is behind us: release acks.
+                shared.groups.fetch_add(out.groups as u64, Ordering::Relaxed);
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                for (p, ok) in batch.iter().zip(out.results.iter()) {
+                    p.ticket.resolve(TicketState::Done(*ok));
+                }
+            }
+            Err(_) => {
+                // Power failed mid-batch: nothing here reached its
+                // durability point as a group — refuse to ack any of it.
+                shared.dead.store(true, Ordering::Release);
+                for p in &batch {
+                    p.ticket.resolve(TicketState::Failed);
+                }
+                let mut q = shared.queue.lock().expect("queue lock");
+                for p in q.drain(..) {
+                    p.ticket.resolve(TicketState::Failed);
+                }
+                shared.space_cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Enqueue a write, blocking while the queue is full (backpressure).
+fn enqueue(shared: &Shared, op: WriteOp) -> Result<Arc<Ticket>, &'static str> {
+    let mut q = shared.queue.lock().expect("queue lock");
+    loop {
+        if shared.dead.load(Ordering::Acquire) {
+            return Err("server crashed");
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err("server shutting down");
+        }
+        if q.len() < shared.cfg.queue_cap {
+            break;
+        }
+        let (g, _) = shared
+            .space_cv
+            .wait_timeout(q, Duration::from_millis(50))
+            .expect("space wait");
+        q = g;
+    }
+    let ticket = Arc::new(Ticket::new());
+    q.push_back(Pending {
+        op,
+        ticket: Arc::clone(&ticket),
+    });
+    shared.queue_cv.notify_one();
+    Ok(ticket)
+}
+
+fn send(stream: &mut TcpStream, reply: &Reply) -> bool {
+    stream.write_all(&encode_reply(reply)).is_ok()
+}
+
+/// Release replies for every outstanding write, in request order. Returns
+/// `false` when the connection (or the server) is done for.
+fn flush_outstanding(
+    shared: &Shared,
+    outstanding: &mut VecDeque<(Arc<Ticket>, Instant)>,
+    stream: &mut TcpStream,
+    hist: &mut Histogram,
+) -> bool {
+    while let Some((ticket, enqueued)) = outstanding.pop_front() {
+        match ticket.wait(shared) {
+            TicketState::Done(true) => {
+                shared.acked_writes.fetch_add(1, Ordering::Relaxed);
+                hist.record(enqueued.elapsed().as_nanos() as u64);
+                if !send(stream, &Reply::Ok) {
+                    return false;
+                }
+            }
+            TicketState::Done(false) => {
+                shared.nacked_writes.fetch_add(1, Ordering::Relaxed);
+                if !send(stream, &Reply::NotFound) {
+                    return false;
+                }
+            }
+            TicketState::Waiting | TicketState::Failed => {
+                shared.failed_writes.fetch_add(1, Ordering::Relaxed);
+                let _ = send(stream, &Reply::Err("write lost to a crash".into()));
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut outstanding: VecDeque<(Arc<Ticket>, Instant)> = VecDeque::new();
+    let mut hist = Histogram::new();
+
+    'conn: loop {
+        // Drain every complete frame already buffered (pipelining).
+        let mut consumed = 0;
+        loop {
+            let outcome = parse_frame(&buf[consumed..]);
+            let (req, n) = match outcome {
+                ParseOutcome::Incomplete => break,
+                // Unparseable stream: cut the connection. Whatever writes
+                // are already queued stay queued — they were never acked,
+                // and the committer completes or fails them on its own.
+                ParseOutcome::Malformed(_) => break 'conn,
+                ParseOutcome::Frame(req, n) => (req, n),
+            };
+            consumed += n;
+            let write_op = match req {
+                Request::Set(rec) => Some(WriteOp::Set(rec)),
+                Request::SetField { key, field, value } => {
+                    Some(WriteOp::SetField { key, field, value })
+                }
+                Request::Del(key) => Some(WriteOp::Del(key)),
+                other => {
+                    // Non-write requests ride behind every earlier write on
+                    // this connection: flush first so replies stay in
+                    // request order and reads see the connection's own
+                    // acked writes.
+                    if !flush_outstanding(shared, &mut outstanding, &mut stream, &mut hist) {
+                        break 'conn;
+                    }
+                    let shutdown = matches!(other, Request::Shutdown);
+                    let reply = match other {
+                        Request::Get(key) => match shared.grid.read(&key) {
+                            Some(rec) => Reply::Value(encode_record(&rec)),
+                            None => Reply::NotFound,
+                        },
+                        Request::Len => {
+                            Reply::Value((shared.grid.len() as u64).to_le_bytes().to_vec())
+                        }
+                        Request::Stats => Reply::Value(stats_text(shared).into_bytes()),
+                        Request::Shutdown => Reply::Ok,
+                        Request::Invalid(m) => Reply::Err(m.to_string()),
+                        Request::Set(_) | Request::SetField { .. } | Request::Del(_) => {
+                            unreachable!("writes handled above")
+                        }
+                    };
+                    if !send(&mut stream, &reply) {
+                        break 'conn;
+                    }
+                    if shutdown {
+                        request_shutdown(shared);
+                        break 'conn;
+                    }
+                    continue;
+                }
+            };
+            if let Some(op) = write_op {
+                match enqueue(shared, op) {
+                    Ok(ticket) => outstanding.push_back((ticket, Instant::now())),
+                    Err(msg) => {
+                        if !flush_outstanding(shared, &mut outstanding, &mut stream, &mut hist) {
+                            break 'conn;
+                        }
+                        if !send(&mut stream, &Reply::Err(msg.to_string())) {
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+        }
+        buf.drain(..consumed);
+
+        // Everything parsed is enqueued; release the acks before blocking
+        // on the socket again so single-window clients make progress.
+        if !flush_outstanding(shared, &mut outstanding, &mut stream, &mut hist) {
+            break 'conn;
+        }
+
+        match stream.read(&mut tmp) {
+            Ok(0) => break 'conn,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.dead.load(Ordering::Acquire) || shared.shutdown.load(Ordering::Acquire)
+                {
+                    break 'conn;
+                }
+            }
+            Err(_) => break 'conn,
+        }
+    }
+
+    shared
+        .latency
+        .lock()
+        .expect("latency lock")
+        .merge(&hist);
+}
+
+fn stats_text(shared: &Shared) -> String {
+    let s = snapshot(shared);
+    let g = shared.grid.metrics();
+    let d = shared.pmem.stats();
+    let lat = shared.latency.lock().expect("latency lock").summary();
+    let acked = s.acked_writes.max(1);
+    format!(
+        "backend={}\nlen={}\nreads={}\nwrites={}\nhits={}\nmisses={}\n\
+         acked_writes={}\nnacked_writes={}\nfailed_writes={}\ngroups={}\nbatches={}\nconnections={}\n\
+         pwbs={}\npfences={}\npsyncs={}\nordering_points={}\nordering_points_per_acked_write={:.4}\n\
+         ack_latency={}\n",
+        shared.be.name(),
+        shared.grid.len(),
+        g.reads.load(Ordering::Relaxed),
+        g.writes.load(Ordering::Relaxed),
+        g.hits.load(Ordering::Relaxed),
+        g.misses.load(Ordering::Relaxed),
+        s.acked_writes,
+        s.nacked_writes,
+        s.failed_writes,
+        s.groups,
+        s.batches,
+        s.connections,
+        d.pwbs,
+        d.pfences,
+        d.psyncs,
+        d.ordering_points(),
+        d.ordering_points() as f64 / acked as f64,
+        lat.display_us(),
+    )
+}

@@ -1,0 +1,301 @@
+//! Kill-during-traffic: inject a crash point while live loadgen
+//! connections drive the server, then reopen the pool, run recovery, and
+//! hold the server to its word — **every `Ok`-acked write is present,
+//! every record is untorn**.
+//!
+//! ## The allowed-states window
+//!
+//! Traffic is deterministic per `(connection, op index)` and replies come
+//! back in request order, so after the run each key has
+//!
+//! * a known op sequence `o_1 .. o_m` (SET, then maybe SETF or DEL), and
+//! * a known *acked prefix*: the first `a` of those ops were answered
+//!   `Ok`. (An error reply closes the connection, so nothing is acked
+//!   after the first failure.)
+//!
+//! Writes commit in per-key order (same stripe ⇒ same queue order ⇒
+//! later group), so the recovered image must equal the state after some
+//! prefix `o_1 .. o_j` with `a ≤ j ≤ m` — acked ops are a floor, unacked
+//! ones may or may not have reached their durability point, and any
+//! mixture of two states (a half-applied SETF, a torn record) matches no
+//! prefix and fails the check.
+
+use std::sync::Arc;
+
+use jnvm::JnvmBuilder;
+use jnvm_heap::HeapConfig;
+use jnvm_kvstore::{
+    register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend, Record,
+};
+use jnvm_pmem::{silence_crash_panics, FaultPlan, Pmem, PmemConfig};
+
+use crate::loadgen::{key_for, run_loadgen, value_for, LoadReport, LoadgenConfig, OpOutcome};
+use crate::server::{Server, ServerConfig, ServerStats};
+
+/// Experiment shape.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureConfig {
+    /// Traffic to run while the crash is armed.
+    pub load: LoadgenConfig,
+    /// Backend shards.
+    pub shards: usize,
+    /// Simulated pool size in bytes.
+    pub pool_bytes: u64,
+    /// Server tunables.
+    pub server: ServerConfig,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            load: LoadgenConfig::default(),
+            shards: 16,
+            pool_bytes: 64 << 20,
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// Result of one kill-during-traffic experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct KillReport {
+    /// Whether the armed point actually fired (points past the end of the
+    /// op stream complete the traffic instead; verification still runs).
+    pub injected: bool,
+    /// Persistence-relevant device ops counted while armed.
+    pub ops_counted: u64,
+    /// `Ok`-acked writes across connections.
+    pub acked_writes: u64,
+    /// Keys whose recovered state was checked.
+    pub keys_checked: u64,
+    /// Server counters at shutdown.
+    pub server: ServerStats,
+}
+
+struct Ctx {
+    pmem: Arc<Pmem>,
+    grid: Arc<DataGrid>,
+    be: Arc<JnvmBackend>,
+    rt: jnvm::Jnvm,
+    server: Server,
+}
+
+fn build(cfg: &TortureConfig) -> Ctx {
+    let pmem = Pmem::new(PmemConfig::crash_sim(cfg.pool_bytes));
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .expect("create pool");
+    let be = Arc::new(JnvmBackend::create(&rt, cfg.shards.max(1), true).expect("create backend"));
+    // No volatile cache: the J-NVM backends gain nothing from one (§5.3.1)
+    // and the verifier wants to read the persistent image, not a cache.
+    let grid = Arc::new(DataGrid::new(
+        Arc::clone(&be) as Arc<dyn Backend>,
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    ));
+    let server = Server::start(
+        Arc::clone(&grid),
+        Arc::clone(&be),
+        Arc::clone(&pmem),
+        cfg.server,
+    )
+    .expect("bind server");
+    Ctx {
+        pmem,
+        grid,
+        be,
+        rt,
+        server,
+    }
+}
+
+/// Count pass: run the full traffic with the engine counting (never
+/// crashing) and return how many persistence-relevant device ops it
+/// performs — the size of the crash-point space. The interleaving varies
+/// run to run; sweeps over this total are representative, not exact.
+pub fn traffic_op_count(cfg: &TortureConfig) -> u64 {
+    let ctx = build(cfg);
+    ctx.pmem.arm_faults(FaultPlan::count());
+    let _ = run_loadgen(ctx.server.addr(), &cfg.load);
+    ctx.server.shutdown();
+    let Ctx {
+        pmem, grid, be, rt, ..
+    } = ctx;
+    drop(grid);
+    drop(be);
+    drop(rt);
+    pmem.disarm_faults()
+}
+
+/// One kill-during-traffic experiment: build a fresh pool + server, arm a
+/// crash at `point`, run the load, then reopen + recover and verify the
+/// allowed-states window for every key. Returns `Err` with a description
+/// on any violated invariant.
+pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport, String> {
+    silence_crash_panics();
+    let ctx = build(cfg);
+    // Armed only now: pool format and server startup are not part of the
+    // crash-point space under test.
+    ctx.pmem.arm_faults(FaultPlan::crash_at(point));
+    let load = run_loadgen(ctx.server.addr(), &cfg.load);
+    let stats = ctx.server.stats();
+    ctx.server.shutdown();
+    let injected = ctx.pmem.faults_frozen();
+    let Ctx {
+        pmem, grid, be, rt, ..
+    } = ctx;
+    // Dropped while the device is still frozen: unwind destructors must
+    // not repair the crash image (same sequence as faultsim's
+    // torture_point).
+    drop(grid);
+    drop(be);
+    drop(rt);
+    let ops_counted = pmem.disarm_faults();
+    if injected {
+        pmem.resync_cache();
+    }
+
+    let (rt2, _report) = register_kvstore(JnvmBuilder::new())
+        .open(Arc::clone(&pmem))
+        .map_err(|e| format!("reopen after crash at point {point}: {e}"))?;
+    let be2 = JnvmBackend::open(&rt2, true)
+        .map_err(|e| format!("backend reopen after crash at point {point}: {e}"))?;
+
+    let keys_checked = verify_allowed_states(&load, cfg, &be2)
+        .map_err(|e| format!("point {point}: {e}"))?;
+    Ok(KillReport {
+        injected,
+        ops_counted,
+        acked_writes: load.acked_writes,
+        keys_checked,
+        server: stats,
+    })
+}
+
+/// The op indices touching the key created at index `i` (SET always;
+/// `i%10==3` ⇒ DEL at `i+1`; `i%10==8` ⇒ SETF at `i+1`). Indices `4`,
+/// `7`, `9` mod 10 are not SETs and create no key.
+fn key_ops(i: usize, ops_per_conn: usize) -> Option<Vec<(usize, KeyOp)>> {
+    if matches!(i % 10, 4 | 7 | 9) && i > 0 {
+        return None;
+    }
+    let mut ops = vec![(i, KeyOp::Set)];
+    if i + 1 < ops_per_conn {
+        match i % 10 {
+            3 => ops.push((i + 1, KeyOp::Del)),
+            8 => ops.push((i + 1, KeyOp::SetF)),
+            _ => {}
+        }
+    }
+    Some(ops)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum KeyOp {
+    Set,
+    SetF,
+    Del,
+}
+
+/// The record state after applying the first `j` ops of `key_ops(i)`.
+fn state_after(
+    conn: usize,
+    i: usize,
+    ops: &[(usize, KeyOp)],
+    j: usize,
+    cfg: &TortureConfig,
+) -> Option<Record> {
+    let mut state: Option<Record> = None;
+    for (idx, op) in ops.iter().take(j) {
+        match op {
+            KeyOp::Set => {
+                let values: Vec<Vec<u8>> = (0..cfg.load.fields.max(1))
+                    .map(|f| value_for(conn, *idx, f, cfg.load.value_size))
+                    .collect();
+                state = Some(Record::ycsb(&key_for(conn, i), &values));
+            }
+            KeyOp::SetF => {
+                let rec = state.as_mut().expect("SETF follows SET");
+                rec.fields[0].1 = value_for(conn, *idx, 0, cfg.load.value_size);
+            }
+            KeyOp::Del => state = None,
+        }
+    }
+    state
+}
+
+/// Check every key of every connection against its allowed-states window.
+/// Returns the number of keys checked.
+fn verify_allowed_states(
+    load: &LoadReport,
+    cfg: &TortureConfig,
+    be2: &JnvmBackend,
+) -> Result<u64, String> {
+    let mut checked = 0u64;
+    for conn in &load.per_conn {
+        // Replies are in order: sanity-check the prefix property once per
+        // connection before leaning on it.
+        let replied = conn.replied();
+        if conn.outcomes[replied..]
+            .iter()
+            .any(|o| *o != OpOutcome::NoReply)
+        {
+            return Err(format!(
+                "conn {}: reply after a silent gap — ordering broken",
+                conn.conn
+            ));
+        }
+        for o in &conn.outcomes[..replied] {
+            if *o == OpOutcome::BadRead {
+                return Err(format!(
+                    "conn {}: GET observed a record that matches no acked state",
+                    conn.conn
+                ));
+            }
+        }
+        for i in 0..cfg.load.ops_per_conn {
+            let Some(ops) = key_ops(i, cfg.load.ops_per_conn) else {
+                continue;
+            };
+            checked += 1;
+            let key = key_for(conn.conn, i);
+            // Acked floor: ops answered Ok must be applied. NotFound on
+            // this workload's writes would itself be a violation (every
+            // SETF/DEL target exists when issued in order).
+            let mut acked = 0;
+            for (idx, _) in &ops {
+                match conn.outcomes[*idx] {
+                    OpOutcome::Ok => acked += 1,
+                    OpOutcome::NotFound => {
+                        return Err(format!("{key}: write op {idx} unexpectedly NotFound"));
+                    }
+                    _ => break,
+                }
+            }
+            let observed = be2.read(&key);
+            let allowed: Vec<Option<Record>> = (acked..=ops.len())
+                .map(|j| state_after(conn.conn, i, &ops, j, cfg))
+                .collect();
+            if !allowed.contains(&observed) {
+                let got = match &observed {
+                    None => "absent".to_string(),
+                    Some(r) => format!(
+                        "{} fields, field0 {} B",
+                        r.fields.len(),
+                        r.fields.first().map_or(0, |f| f.1.len())
+                    ),
+                };
+                return Err(format!(
+                    "{key}: recovered state ({got}) matches none of the {} allowed \
+                     prefixes (acked floor {acked} of {} ops) — acked write lost or \
+                     record torn",
+                    allowed.len(),
+                    ops.len()
+                ));
+            }
+        }
+    }
+    Ok(checked)
+}

@@ -1,0 +1,204 @@
+//! Malformed-protocol robustness: truncated frames, oversized values,
+//! garbage magic, and mid-pipeline connection drops must never poison the
+//! grid or leak staged batch entries — the next connection gets clean
+//! service and LEN stays consistent.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use jnvm::JnvmBuilder;
+use jnvm_heap::HeapConfig;
+use jnvm_kvstore::{register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend, Record};
+use jnvm_pmem::{Pmem, PmemConfig};
+use jnvm_server::{
+    encode_reply, encode_request, parse_reply, Reply, Request, Server, ServerConfig,
+};
+
+fn start_server() -> (Server, Arc<Pmem>) {
+    let pmem = Pmem::new(PmemConfig::crash_sim(64 << 20));
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .unwrap();
+    let be = Arc::new(JnvmBackend::create(&rt, 8, true).unwrap());
+    let grid = Arc::new(DataGrid::new(
+        Arc::clone(&be) as Arc<dyn Backend>,
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    ));
+    let server = Server::start(grid, be, Arc::clone(&pmem), ServerConfig::default()).unwrap();
+    // Keep the runtime alive for the server's lifetime.
+    std::mem::forget(rt);
+    (server, pmem)
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let s = TcpStream::connect(server.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+fn next_reply(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Option<Reply> {
+    let mut tmp = [0u8; 4096];
+    loop {
+        match parse_reply(buf) {
+            Ok(Some((reply, n))) => {
+                buf.drain(..n);
+                return Some(reply);
+            }
+            Ok(None) => {}
+            Err(_) => return None,
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(_) => return None,
+        }
+    }
+}
+
+fn roundtrip(stream: &mut TcpStream, buf: &mut Vec<u8>, req: &Request) -> Option<Reply> {
+    stream.write_all(&encode_request(req)).unwrap();
+    next_reply(stream, buf)
+}
+
+fn set_record(stream: &mut TcpStream, buf: &mut Vec<u8>, key: &str) {
+    let rec = Record::ycsb(key, &[b"v0".to_vec(), b"v1".to_vec()]);
+    assert_eq!(
+        roundtrip(stream, buf, &Request::Set(rec)),
+        Some(Reply::Ok),
+        "SET {key} must ack"
+    );
+}
+
+fn grid_len(stream: &mut TcpStream, buf: &mut Vec<u8>) -> u64 {
+    match roundtrip(stream, buf, &Request::Len) {
+        Some(Reply::Value(v)) => u64::from_le_bytes(v.try_into().unwrap()),
+        other => panic!("LEN returned {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_magic_closes_connection_without_damage() {
+    let (server, _pmem) = start_server();
+    {
+        let mut s = connect(&server);
+        let mut buf = Vec::new();
+        set_record(&mut s, &mut buf, "before-garbage");
+        // Wrong magic byte: frame-level violation, server cuts the line.
+        s.write_all(&[0xff; 32]).unwrap();
+        let mut tmp = [0u8; 64];
+        assert_eq!(s.read(&mut tmp).unwrap_or(0), 0, "server must close");
+    }
+    let mut s = connect(&server);
+    let mut buf = Vec::new();
+    assert_eq!(grid_len(&mut s, &mut buf), 1, "acked record survives");
+    set_record(&mut s, &mut buf, "after-garbage");
+    assert_eq!(grid_len(&mut s, &mut buf), 2, "next connection serves fine");
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_then_disconnect_leaves_grid_consistent() {
+    let (server, _pmem) = start_server();
+    {
+        let mut s = connect(&server);
+        let mut buf = Vec::new();
+        set_record(&mut s, &mut buf, "t-full");
+        // Send only a prefix of a valid SET frame, then vanish.
+        let frame = encode_request(&Request::Set(Record::ycsb(
+            "t-truncated",
+            &[vec![7u8; 128]],
+        )));
+        s.write_all(&frame[..frame.len() / 2]).unwrap();
+    }
+    let mut s = connect(&server);
+    let mut buf = Vec::new();
+    assert_eq!(grid_len(&mut s, &mut buf), 1);
+    assert!(
+        matches!(roundtrip(&mut s, &mut buf, &Request::Get("t-truncated".into())),
+            Some(Reply::NotFound)),
+        "half a frame must not half-apply"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_value_is_rejected_but_connection_survives() {
+    let (server, _pmem) = start_server();
+    let mut s = connect(&server);
+    let mut buf = Vec::new();
+    // Body-level violation (value over MAX_VALUE): Err reply, stream
+    // stays framed so the connection keeps working.
+    let reply = roundtrip(
+        &mut s,
+        &mut buf,
+        &Request::SetField {
+            key: "big".into(),
+            field: 0,
+            value: vec![0u8; (64 << 10) + 1],
+        },
+    );
+    assert!(matches!(reply, Some(Reply::Err(_))), "got {reply:?}");
+    set_record(&mut s, &mut buf, "after-oversized");
+    assert_eq!(grid_len(&mut s, &mut buf), 1);
+    server.shutdown();
+}
+
+#[test]
+fn mid_pipeline_drop_does_not_leak_staged_entries() {
+    let (server, _pmem) = start_server();
+    {
+        let mut s = connect(&server);
+        // Fire a burst of pipelined SETs and slam the connection shut
+        // without reading a single reply. The committer still owns the
+        // queued ops; none of them may wedge the batch machinery.
+        let mut burst = Vec::new();
+        for i in 0..32 {
+            let rec = Record::ycsb(&format!("drop-{i:02}"), &[vec![i as u8; 64]]);
+            burst.extend_from_slice(&encode_request(&Request::Set(rec)));
+        }
+        s.write_all(&burst).unwrap();
+        // Drop with replies unread.
+    }
+    // The server must still serve — and every one of those writes either
+    // fully applied or not at all (no torn keys).
+    let mut s = connect(&server);
+    let mut buf = Vec::new();
+    std::thread::sleep(Duration::from_millis(200));
+    let len = grid_len(&mut s, &mut buf);
+    assert!(len <= 32, "at most the burst landed, got {len}");
+    for i in 0..32 {
+        match roundtrip(&mut s, &mut buf, &Request::Get(format!("drop-{i:02}"))) {
+            Some(Reply::Value(payload)) => {
+                let rec = jnvm_kvstore::decode_record(&payload).expect("untorn record");
+                assert_eq!(rec.fields[0].1, vec![i as u8; 64]);
+            }
+            Some(Reply::NotFound) => {}
+            other => panic!("GET drop-{i:02} returned {other:?}"),
+        }
+    }
+    set_record(&mut s, &mut buf, "post-drop");
+    assert_eq!(grid_len(&mut s, &mut buf), len + 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_reply_encoding_is_never_sent() {
+    // encode_reply/parse_reply round-trip (client-side framing sanity).
+    for reply in [
+        Reply::Ok,
+        Reply::NotFound,
+        Reply::Value(vec![1, 2, 3]),
+        Reply::Err("boom".into()),
+    ] {
+        let bytes = encode_reply(&reply);
+        let (parsed, n) = parse_reply(&bytes).unwrap().unwrap();
+        assert_eq!(n, bytes.len());
+        assert_eq!(parsed, reply);
+    }
+}

@@ -190,6 +190,34 @@ mod tests {
     }
 
     #[test]
+    fn merged_percentiles_match_single_combined_histogram() {
+        // Three per-worker histograms vs one histogram fed every sample:
+        // merge must be lossless, so every percentile matches exactly.
+        let mut combined = Histogram::new();
+        let mut merged = Histogram::new();
+        let mut x = 7u64;
+        for w in 0..3u64 {
+            let mut part = Histogram::new();
+            for i in 0..5_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(w * 1_000 + i);
+                let v = x % 5_000_000 + 1;
+                part.record(v);
+                combined.record(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), combined.count());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999, 1.0] {
+            assert_eq!(
+                merged.quantile(q),
+                combined.quantile(q),
+                "quantile {q} diverged after merge"
+            );
+        }
+        assert_eq!(merged.summary(), combined.summary());
+    }
+
+    #[test]
     fn empty_histogram() {
         let h = Histogram::new();
         let s = h.summary();

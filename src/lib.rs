@@ -11,5 +11,6 @@ pub use jnvm_heap as heap;
 pub use jnvm_jpdt as jpdt;
 pub use jnvm_kvstore as kvstore;
 pub use jnvm_pmem as pmem;
+pub use jnvm_server as server;
 pub use jnvm_tpcb as tpcb;
 pub use jnvm_ycsb as ycsb;

@@ -1,0 +1,149 @@
+//! End-to-end tests for `jnvm-server`: group-commit fence amortization
+//! under pipelined load, and the kill-during-traffic sweep (crash injected
+//! while ≥4 pipelined connections are live, reopen, verify every acked
+//! write survived and every record is untorn).
+//!
+//! The default suite runs a time-bounded smoke plus a small strided sweep;
+//! the `--ignored` test widens the sweep for the scheduled torture job.
+
+use std::sync::Arc;
+
+use jnvm_repro::faultsim::strided_points;
+use jnvm_repro::heap::HeapConfig;
+use jnvm_repro::jnvm::JnvmBuilder;
+use jnvm_repro::kvstore::{
+    register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend,
+};
+use jnvm_repro::pmem::{Pmem, PmemConfig};
+use jnvm_repro::server::{
+    kill_during_traffic, run_loadgen, traffic_op_count, LoadgenConfig, Server, ServerConfig,
+    TortureConfig,
+};
+
+fn small_torture() -> TortureConfig {
+    TortureConfig {
+        load: LoadgenConfig {
+            conns: 4,
+            ops_per_conn: 40,
+            pipeline: 8,
+            fields: 3,
+            value_size: 48,
+        },
+        ..TortureConfig::default()
+    }
+}
+
+/// Acked ⇒ durable must come *cheap*: under pipelined load the committer
+/// groups staged writes behind shared fences, so ordering points
+/// (pfences + psyncs) stay well below one per acked write. A server that
+/// fenced every write individually pays ≥ 3× more and fails this.
+#[test]
+fn group_commit_amortizes_fences_under_pipelined_load() {
+    let pmem = Pmem::new(PmemConfig::crash_sim(256 << 20));
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .unwrap();
+    let be = Arc::new(JnvmBackend::create(&rt, 16, true).unwrap());
+    let grid = Arc::new(DataGrid::new(
+        Arc::clone(&be) as Arc<dyn Backend>,
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    ));
+    let server = Server::start(
+        Arc::clone(&grid),
+        Arc::clone(&be),
+        Arc::clone(&pmem),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let before = pmem.stats();
+    let load = run_loadgen(
+        server.addr(),
+        &LoadgenConfig {
+            conns: 4,
+            ops_per_conn: 200,
+            pipeline: 16,
+            ..LoadgenConfig::default()
+        },
+    );
+    let stats = server.stats();
+    server.shutdown();
+    let d = pmem.stats().delta(&before);
+
+    assert_eq!(load.errors, 0, "crash-free traffic must not error");
+    assert!(
+        load.acked_writes >= 700,
+        "expected ~720 acked writes, got {}",
+        load.acked_writes
+    );
+    assert_eq!(stats.acked_writes, load.acked_writes);
+    assert!(stats.groups > 0 && stats.batches > 0);
+    assert!(
+        d.ordering_points() < load.acked_writes,
+        "group commit must amortize fences: {} ordering points for {} acked \
+         writes ({} groups in {} batches)",
+        d.ordering_points(),
+        load.acked_writes,
+        stats.groups,
+        stats.batches
+    );
+    drop(rt);
+}
+
+/// A crash point past the end of the op stream: traffic completes, nothing
+/// injects, and the recovery verifier must accept the full image — every
+/// acked write present and every record untorn after reopen.
+#[test]
+fn uninjected_run_reopens_with_every_acked_write() {
+    let cfg = small_torture();
+    let report = kill_during_traffic(u64::MAX, &cfg).expect("verification");
+    assert!(!report.injected);
+    assert_eq!(report.server.failed_writes, 0);
+    assert!(report.acked_writes > 0);
+    assert!(report.keys_checked > 0);
+}
+
+/// Strided kill sweep: inject a crash at several points across the
+/// device-op stream while 4 pipelined connections are live, then reopen
+/// and verify. Bounded for the default suite; the `--ignored` variant
+/// sweeps wider.
+#[test]
+fn kill_during_traffic_strided_sweep() {
+    let cfg = small_torture();
+    let total = traffic_op_count(&cfg);
+    assert!(total > 1000, "traffic too small to be interesting: {total}");
+    let mut injected = 0;
+    for point in strided_points(total, 5) {
+        let report =
+            kill_during_traffic(point, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        if report.injected {
+            injected += 1;
+        }
+    }
+    assert!(injected >= 3, "sweep barely injected: {injected}/5 points");
+}
+
+/// The wide sweep for the scheduled torture job
+/// (`cargo test --release --test server_torture -- --ignored`).
+#[test]
+#[ignore]
+fn kill_during_traffic_wide_sweep() {
+    let cfg = TortureConfig {
+        load: LoadgenConfig {
+            conns: 4,
+            ops_per_conn: 100,
+            pipeline: 16,
+            fields: 4,
+            value_size: 64,
+        },
+        ..TortureConfig::default()
+    };
+    let total = traffic_op_count(&cfg);
+    for point in strided_points(total, 40) {
+        if let Err(e) = kill_during_traffic(point, &cfg) {
+            panic!("{e}");
+        }
+    }
+}
