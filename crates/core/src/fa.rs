@@ -24,6 +24,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::ThreadId;
+use std::time::{Duration, Instant};
 
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
@@ -129,34 +130,166 @@ impl FaManager {
     /// Must run before the recovery GC. A damaged log (unknown entry kind)
     /// surfaces as [`JnvmError::CorruptLog`] rather than aborting, so a
     /// server re-open on a damaged pool can report the failure.
-    pub(crate) fn recover_logs(&self, rt: &Jnvm) -> Result<(u64, u64), JnvmError> {
+    ///
+    /// With `threads > 1` the committed logs are partitioned by **footprint
+    /// disjointness** — the same invariant `fa_commit_group` demands of
+    /// staged siblings — and independent logs replay concurrently. Logs
+    /// whose entry footprints share a block form one replay unit and apply
+    /// sequentially in directory-slot order inside it, so the last-writer
+    /// order of the sequential pass is preserved; every replay worker
+    /// `pfence`s its own persistence domain before exiting. `threads <= 1`
+    /// replays inline in slot order (the sequential oracle).
+    ///
+    /// The third return component is the busy wall time of each replay
+    /// worker (one entry when the replay ran inline); the fourth is each
+    /// worker's modeled device time (latency-model nanoseconds charged —
+    /// see [`jnvm_heap::par::run_workers_timed`]).
+    pub(crate) fn recover_logs(
+        &self,
+        rt: &Jnvm,
+        threads: usize,
+    ) -> Result<(u64, u64, Vec<Duration>, Vec<Duration>), JnvmError> {
         let dir_addr = rt.heap().root_slot(2);
         let dir = RawChain::open(rt, dir_addr);
         let pmem = rt.pmem();
+        let heap = rt.heap();
         let cap = pmem.read_u64(dir.phys(0));
         let mut cursor = self.dir_cursor.lock();
-        let (mut replayed, mut abandoned) = (0, 0);
+
+        struct LogInfo {
+            slot: u64,
+            chain: RawChain,
+            committed: bool,
+            count: u64,
+        }
+        let mut infos: Vec<LogInfo> = Vec::new();
         for slot in 0..cap {
             let log_addr = pmem.read_u64(dir.phys(8 + slot * 8));
             if log_addr == 0 {
                 continue;
             }
-            *cursor = slot + 1;
             let chain = RawChain::open(rt, log_addr);
-            let committed = pmem.read_u64(chain.phys(LOG_COMMITTED));
-            if committed == 1 {
-                let count = pmem.read_u64(chain.phys(LOG_COUNT));
-                apply_entries(rt, &chain, count, false)?;
-                pmem.write_u64(chain.phys(LOG_COMMITTED), 0);
-                pmem.pwb(chain.phys(LOG_COMMITTED));
-                replayed += 1;
-            } else if pmem.read_u64(chain.phys(LOG_COUNT)) != 0 {
-                abandoned += 1;
+            let committed = pmem.read_u64(chain.phys(LOG_COMMITTED)) == 1;
+            let count = pmem.read_u64(chain.phys(LOG_COUNT));
+            infos.push(LogInfo { slot, chain, committed, count });
+        }
+
+        // Replay one committed log: apply, then persistently retire the
+        // committed flag. Both steps are idempotent, so a crash anywhere in
+        // here re-replays on the next recovery and converges — but only if
+        // the applies are durable before the retire: under partial line
+        // eviction a crash could otherwise persist the flag-clear while
+        // losing applied data, and the next recovery would skip the torn
+        // log. Hence the fence between the two steps.
+        let replay_one = |info: &LogInfo| -> Result<(), JnvmError> {
+            apply_entries(rt, &info.chain, info.count, false)?;
+            pmem.pfence();
+            pmem.write_u64(info.chain.phys(LOG_COMMITTED), 0);
+            pmem.pwb(info.chain.phys(LOG_COMMITTED));
+            Ok(())
+        };
+
+        let committed_idx: Vec<usize> = infos
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.committed)
+            .map(|(i, _)| i)
+            .collect();
+        let mut thread_times: Vec<Duration> = Vec::new();
+        let mut device_times: Vec<Duration> = Vec::new();
+        let replayed = if threads <= 1 || committed_idx.len() <= 1 {
+            let t = Instant::now();
+            let before = jnvm_pmem::thread_charged_ns();
+            for &li in &committed_idx {
+                replay_one(&infos[li])?;
             }
-            self.free_logs.push(LogHandle { chain });
+            device_times.push(Duration::from_nanos(jnvm_pmem::thread_charged_ns() - before));
+            thread_times.push(t.elapsed());
+            committed_idx.len() as u64
+        } else {
+            // Block-index footprint of a committed log: every block an
+            // entry reads or writes during replay.
+            let footprint = |info: &LogInfo| -> HashSet<u64> {
+                let mut fp = HashSet::new();
+                for i in 0..info.count {
+                    let (kind, a, b) = read_entry(rt, &info.chain, i);
+                    match kind {
+                        KIND_ALLOC | KIND_FREE => {
+                            fp.insert(heap.block_of_addr(a));
+                        }
+                        KIND_WRITE => {
+                            fp.insert(heap.block_of_addr(a));
+                            fp.insert(heap.block_of_addr(b));
+                        }
+                        // Unknown kinds surface as CorruptLog at replay.
+                        _ => {}
+                    }
+                }
+                fp
+            };
+            // Union conflicting logs into replay units (members kept in
+            // directory-slot order).
+            let mut units: Vec<(Vec<usize>, HashSet<u64>)> = Vec::new();
+            for &li in &committed_idx {
+                let fp = footprint(&infos[li]);
+                let overlapping: Vec<usize> = units
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, ufp))| !ufp.is_disjoint(&fp))
+                    .map(|(ui, _)| ui)
+                    .collect();
+                match overlapping.split_first() {
+                    None => units.push((vec![li], fp)),
+                    Some((&first, rest)) => {
+                        for &ui in rest.iter().rev() {
+                            let (members, ufp) = units.remove(ui);
+                            units[first].0.extend(members);
+                            units[first].1.extend(ufp);
+                        }
+                        units[first].0.push(li);
+                        units[first].1.extend(fp);
+                        units[first].0.sort_unstable();
+                    }
+                }
+            }
+            let nworkers = threads.min(units.len()).max(1);
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); nworkers];
+            for ui in 0..units.len() {
+                buckets[ui % nworkers].push(ui);
+            }
+            type WorkerOut = (Result<(u64, Duration), JnvmError>, Duration);
+            let results: Vec<WorkerOut> =
+                jnvm_heap::par::run_workers_timed(buckets, |bucket| {
+                    let t = Instant::now();
+                    let mut n = 0;
+                    for ui in bucket {
+                        for &li in &units[ui].0 {
+                            replay_one(&infos[li])?;
+                            n += 1;
+                        }
+                    }
+                    // Drain this worker's retire write-backs (a persistence
+                    // domain drains only its owner's queue).
+                    pmem.pfence();
+                    Ok((n, t.elapsed()))
+                });
+            let mut n = 0;
+            for (r, dt) in results {
+                let (nr, t) = r?;
+                n += nr;
+                thread_times.push(t);
+                device_times.push(dt);
+            }
+            n
+        };
+
+        let abandoned = infos.iter().filter(|i| !i.committed && i.count != 0).count() as u64;
+        for info in infos {
+            *cursor = info.slot + 1;
+            self.free_logs.push(LogHandle { chain: info.chain });
         }
         pmem.pfence();
-        Ok((replayed, abandoned))
+        Ok((replayed, abandoned, thread_times, device_times))
     }
 }
 

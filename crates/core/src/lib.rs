@@ -69,7 +69,7 @@ pub use fa::{commit_phase, CommitPhase, StagedTx};
 pub use field::PVal;
 pub use object::{PAny, PObject};
 pub use proxy::{Proxy, RawChain};
-pub use recovery::{RecoveryMode, RecoveryReport};
+pub use recovery::{RecoveryMode, RecoveryOptions, RecoveryReport};
 pub use registry::{ClassOps, ClassRegistry};
 pub use runtime::{Jnvm, JnvmBuilder, JnvmRuntime};
 

@@ -12,11 +12,41 @@
 //!   freeing the rest. Correct only when the application cannot produce
 //!   invalid-but-reachable objects (e.g. every allocation and its
 //!   publication share one failure-atomic block).
+//!
+//! Both modes run on `RecoveryOptions::threads` worker threads and are
+//! **restartable**: every persistent mutation recovery performs (replaying
+//! a committed log, retiring its flag, nullifying a dangling reference,
+//! clearing a dead header or pool slot) is idempotent, so a crash at any
+//! point inside recovery followed by a second recovery converges to the
+//! same heap — with any thread count. The parallel decomposition:
+//!
+//! 1. **Replay** — committed logs partition by footprint disjointness and
+//!    replay concurrently (see `FaManager::recover_logs`).
+//! 2. **Mark** — a work-stealing traversal: each worker runs DFS on a
+//!    local stack, spilling half its stack to a shared overflow queue when
+//!    it grows and stealing batches when starved. The unit of work is a
+//!    **reference slot**, not an object: the worker that pops a slot reads
+//!    it, validity-checks the target, and either nullifies the slot or
+//!    claims and traces the target. (Were targets the work unit, a single
+//!    wide parent — e.g. a million-element ref array — would serialize a
+//!    million validity reads in the worker that traced it.) Visit-once is
+//!    decided by the atomic [`jnvm_heap::LiveBitmap`] (chained objects) or
+//!    a sharded claim table (pooled objects), so each object is traced and
+//!    `recover`-hooked by exactly one worker; every reference slot is
+//!    yielded by exactly one parent's single trace, hence nullifications
+//!    never race.
+//! 3. **Sweep** — pool-slot and free-queue rebuilds partition the block
+//!    range per worker (see the `jnvm-heap` crate).
+//!
+//! Every worker ends with a `pfence` of its own persistence domain; the
+//! caller closes recovery with `psync`.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use jnvm_heap::CLASS_ID_POOL;
+use jnvm_heap::{LiveBitmap, CLASS_ID_POOL};
+use parking_lot::Mutex;
 
 use crate::error::JnvmError;
 use crate::proxy::RawChain;
@@ -32,11 +62,42 @@ pub enum RecoveryMode {
     HeaderScanOnly,
 }
 
+/// How to run recovery at open: the algorithm and its degree of
+/// parallelism. `threads == 1` (the default) is the sequential pass the
+/// equivalence suite uses as its oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Which recovery algorithm to run.
+    pub mode: RecoveryMode,
+    /// Worker threads for replay, mark and sweep (clamped to >= 1).
+    pub threads: usize,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions { mode: RecoveryMode::Full, threads: 1 }
+    }
+}
+
+impl RecoveryOptions {
+    /// Sequential recovery in the given mode (what `open_with_mode` uses).
+    pub fn with_mode(mode: RecoveryMode) -> RecoveryOptions {
+        RecoveryOptions { mode, threads: 1 }
+    }
+
+    /// Full recovery on `threads` workers.
+    pub fn parallel(threads: usize) -> RecoveryOptions {
+        RecoveryOptions { mode: RecoveryMode::Full, threads }
+    }
+}
+
 /// What recovery did, with timings — the quantities behind Figure 11.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
     /// Mode that ran.
     pub mode_full: bool,
+    /// Worker threads recovery ran with.
+    pub threads: usize,
     /// Committed failure-atomic logs replayed.
     pub replayed_logs: u64,
     /// Uncommitted logs abandoned.
@@ -51,27 +112,68 @@ pub struct RecoveryReport {
     pub nullified_refs: u64,
     /// Wall time of log replay.
     pub log_time: Duration,
-    /// Wall time of the collection pass.
+    /// Wall time of the collection pass (mark + sweep).
     pub gc_time: Duration,
+    /// Wall time of the mark/traversal phase alone.
+    pub mark_time: Duration,
+    /// Wall time of the sweep phase (pool + free-queue rebuild) alone.
+    pub sweep_time: Duration,
+    /// Busy time of each replay worker (one entry per worker).
+    pub replay_thread_times: Vec<Duration>,
+    /// Busy time of each mark worker (one entry per worker).
+    pub mark_thread_times: Vec<Duration>,
+    /// Modeled device time of each mark worker: the latency-model
+    /// nanoseconds that worker paid (all-zero on devices without a
+    /// latency model).
+    pub mark_thread_device_times: Vec<Duration>,
+    /// Modeled critical-path duration of log replay: the slowest replay
+    /// worker's device time.
+    ///
+    /// The busy-wait latency model charges each thread on its own core,
+    /// so on a host with at least one core per worker these modeled
+    /// figures track wall clock; on smaller hosts (a 1-CPU CI container)
+    /// the spinning workers time-share and wall clock flattens while the
+    /// modeled critical path still reflects how the work divided.
+    pub modeled_log_time: Duration,
+    /// Modeled critical-path duration of the mark/traversal phase.
+    pub modeled_mark_time: Duration,
+    /// Modeled critical-path duration of the sweep phase (slowest pool
+    /// sweeper plus slowest free-queue sweeper; the two sub-passes are
+    /// sequential).
+    pub modeled_sweep_time: Duration,
 }
 
-pub(crate) fn run(rt: &Jnvm, mode: RecoveryMode) -> Result<RecoveryReport, JnvmError> {
+impl RecoveryReport {
+    /// Modeled critical-path duration of the whole collection pass
+    /// (mark + sweep) — the recovery-GC cost a machine with one core per
+    /// worker would observe. See [`RecoveryReport::modeled_log_time`].
+    pub fn modeled_gc_time(&self) -> Duration {
+        self.modeled_mark_time + self.modeled_sweep_time
+    }
+}
+
+pub(crate) fn run(rt: &Jnvm, opts: RecoveryOptions) -> Result<RecoveryReport, JnvmError> {
+    let threads = opts.threads.max(1);
     let mut report = RecoveryReport {
-        mode_full: mode == RecoveryMode::Full,
+        mode_full: opts.mode == RecoveryMode::Full,
+        threads,
         ..Default::default()
     };
     // 1. Failure-atomic logs first (§4.2).
     let t0 = Instant::now();
-    let (replayed, abandoned) = rt.fa_manager().recover_logs(rt)?;
+    let (replayed, abandoned, replay_times, replay_device) =
+        rt.fa_manager().recover_logs(rt, threads)?;
     report.replayed_logs = replayed;
     report.abandoned_logs = abandoned;
+    report.replay_thread_times = replay_times;
+    report.modeled_log_time = replay_device.iter().max().copied().unwrap_or_default();
     report.log_time = t0.elapsed();
 
     // 2. Collection pass.
     let t1 = Instant::now();
-    match mode {
-        RecoveryMode::Full => full_gc(rt, &mut report)?,
-        RecoveryMode::HeaderScanOnly => header_scan(rt, &mut report),
+    match opts.mode {
+        RecoveryMode::Full => full_gc(rt, threads, &mut report)?,
+        RecoveryMode::HeaderScanOnly => header_scan(rt, threads, &mut report),
     }
     report.gc_time = t1.elapsed();
     rt.pmem().psync();
@@ -91,113 +193,361 @@ fn object_valid(rt: &Jnvm, addr: u64) -> bool {
     }
 }
 
-fn full_gc(rt: &Jnvm, report: &mut RecoveryReport) -> Result<(), JnvmError> {
-    let heap = rt.heap();
-    let pmem = rt.pmem();
-    let mut bitmap = heap.new_bitmap();
-    let mut live_slots: HashSet<u64> = HashSet::new();
-    let mut stack: Vec<u64> = Vec::new();
+// ----------------------------------------------------------------------
+// The work-stealing mark traversal.
+// ----------------------------------------------------------------------
 
-    // Roots: class table, root map, log directory (whose tracer yields the
-    // logs). Root slots are written once at format time; all three exist.
-    for slot in 0..3 {
-        let addr = heap.root_slot(slot);
-        if addr != 0 {
-            stack.push(addr);
+/// Shards of the pooled-object claim table. Pooled visit-once cannot use
+/// the block bitmap (many pooled objects share one block), so claims go
+/// through sharded hash sets keyed by slot address.
+const CLAIM_SHARDS: usize = 64;
+/// Local stack size beyond which a worker spills half to the overflow.
+const SPILL_THRESHOLD: usize = 256;
+/// Addresses a starved worker steals from the overflow at once.
+const STEAL_BATCH: usize = 128;
+
+struct MarkShared<'a> {
+    rt: &'a Jnvm,
+    bitmap: &'a LiveBitmap,
+    /// Claimed pooled slots, sharded by address.
+    pool_claims: Vec<Mutex<HashSet<u64>>>,
+    /// Spilled work (reference-slot addresses) any starved worker may
+    /// steal.
+    overflow: Mutex<Vec<u64>>,
+    /// Workers currently processing (not idle). Work only enters the
+    /// overflow from an active worker, so `active == 0 && overflow empty`
+    /// means the traversal is complete.
+    active: AtomicUsize,
+    /// Set on the first traversal error; workers drain and exit.
+    aborted: AtomicBool,
+    live_objects: AtomicU64,
+    nullified_refs: AtomicU64,
+}
+
+impl MarkShared<'_> {
+    fn claim(&self, addr: u64) -> bool {
+        let heap = self.rt.heap();
+        if self.rt.pools().is_pooled_addr(addr) {
+            let shard = (addr as usize >> 3) % CLAIM_SHARDS;
+            if !self.pool_claims[shard].lock().insert(addr) {
+                return false;
+            }
+            self.bitmap.mark(heap.block_of_addr(addr));
+            true
+        } else {
+            let idx = heap.block_of_addr(addr);
+            if !self.bitmap.mark(idx) {
+                return false;
+            }
+            for b in heap.chain_blocks(idx) {
+                self.bitmap.mark(b);
+            }
+            true
         }
     }
 
-    while let Some(addr) = stack.pop() {
-        // Mark.
-        if rt.pools().is_pooled_addr(addr) {
-            if !live_slots.insert(addr) {
-                continue;
-            }
-            bitmap.mark(heap.block_of_addr(addr));
-        } else {
-            let idx = heap.block_of_addr(addr);
-            if bitmap.is_marked(idx) {
-                continue;
-            }
-            for b in heap.chain_blocks(idx) {
-                bitmap.mark(b);
-            }
-        }
-        report.live_objects += 1;
+    fn spill(&self, local: &mut Vec<u64>) {
+        // Spill the *older* (bottom) half: breadth near the roots spreads
+        // across workers while each keeps its recent, cache-warm tail.
+        let keep = local.len() / 2;
+        self.overflow.lock().extend(local.drain(..keep));
+    }
 
-        // Trace.
+    fn steal(&self, local: &mut Vec<u64>) -> bool {
+        let mut q = self.overflow.lock();
+        let take = q.len().min(STEAL_BATCH);
+        if take == 0 {
+            return false;
+        }
+        let at = q.len() - take;
+        local.extend(q.drain(at..));
+        true
+    }
+
+    /// Resolve one reference slot: read the stored reference,
+    /// validity-check the target, and either nullify the slot (dangling)
+    /// or visit the target. Each slot is yielded by exactly one parent's
+    /// single trace, so this runs exactly once per slot and the nullify
+    /// write never races another worker.
+    fn resolve_slot(&self, slot: u64, local: &mut Vec<u64>) -> Result<(), JnvmError> {
+        let pmem = self.rt.pmem();
+        let r = pmem.read_u64(slot);
+        if r == 0 {
+            return Ok(());
+        }
+        if object_valid(self.rt, r) {
+            self.visit(r, local)
+        } else {
+            // §2.4: a reference to a partially deleted (or never
+            // validated) object is nullified.
+            pmem.write_u64(slot, 0);
+            pmem.pwb(slot);
+            self.nullified_refs.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    /// Visit one valid object: claim it, push every reference slot it
+    /// holds as stealable work, and run the class's `recover` hook.
+    fn visit(&self, addr: u64, local: &mut Vec<u64>) -> Result<(), JnvmError> {
+        if !self.claim(addr) {
+            return Ok(());
+        }
+        let rt = self.rt;
+        self.live_objects.fetch_add(1, Ordering::Relaxed);
+
         let class_id = rt.class_id_of_addr(addr);
         let ops = *rt
             .registry()
             .ops_of_id(class_id)
             .ok_or_else(|| JnvmError::UnknownPersistedClass(format!("id {class_id}")))?;
-        let mut slots: Vec<u64> = Vec::new();
+        let push = |slot: u64, local: &mut Vec<u64>| {
+            local.push(slot);
+            if local.len() > SPILL_THRESHOLD {
+                self.spill(local);
+            }
+        };
         if !ops.ref_offsets.is_empty() {
             if rt.pools().is_pooled_addr(addr) {
                 for off in ops.ref_offsets {
-                    slots.push(addr + 8 + off);
+                    push(addr + 8 + off, local);
                 }
             } else {
                 let chain = RawChain::open(rt, addr);
                 for off in ops.ref_offsets {
-                    slots.push(chain.phys(*off));
+                    push(chain.phys(*off), local);
                 }
             }
         }
-        (ops.trace_extra)(rt, addr, &mut |slot| slots.push(slot));
-
-        for slot in slots {
-            let r = pmem.read_u64(slot);
-            if r == 0 {
-                continue;
-            }
-            if object_valid(rt, r) {
-                stack.push(r);
-            } else {
-                // §2.4: a reference to a partially deleted (or never
-                // validated) object is nullified.
-                pmem.write_u64(slot, 0);
-                pmem.pwb(slot);
-                report.nullified_refs += 1;
-            }
-        }
+        (ops.trace_extra)(rt, addr, &mut |slot| push(slot, local));
         (ops.recover)(rt, addr);
+        Ok(())
     }
 
+    /// One mark worker: visit its share of the roots, then drain the local
+    /// slot stack, steal when starved, and retire when every worker is
+    /// idle and the overflow is empty. Returns this worker's busy time.
+    fn worker(&self, roots: Vec<u64>) -> Result<Duration, JnvmError> {
+        // An injected crash unwinds this worker as a panic, not an `Err` —
+        // without raising `aborted` on the way out, workers idling in the
+        // spin loop below (which touches no device line and thus never
+        // feels the frozen device) would wait on `active` forever.
+        struct AbortOnUnwind<'s, 'a>(&'s MarkShared<'a>);
+        impl Drop for AbortOnUnwind<'_, '_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.aborted.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let _guard = AbortOnUnwind(self);
+        let start = Instant::now();
+        let finish = |t: Instant| {
+            // Drain this worker's nullification / recover-hook write-backs
+            // (a persistence domain drains only its owner's queue).
+            self.rt.pmem().pfence();
+            t.elapsed()
+        };
+        let mut local: Vec<u64> = Vec::new();
+        for root in roots {
+            if self.aborted.load(Ordering::Relaxed) {
+                return Ok(finish(start));
+            }
+            if let Err(e) = self.visit(root, &mut local) {
+                self.aborted.store(true, Ordering::Relaxed);
+                let _ = finish(start);
+                return Err(e);
+            }
+        }
+        loop {
+            while let Some(slot) = local.pop() {
+                if self.aborted.load(Ordering::Relaxed) {
+                    return Ok(finish(start));
+                }
+                if let Err(e) = self.resolve_slot(slot, &mut local) {
+                    self.aborted.store(true, Ordering::Relaxed);
+                    let _ = finish(start);
+                    return Err(e);
+                }
+            }
+            if self.steal(&mut local) {
+                continue;
+            }
+            // Idle protocol: deregister, then wait for either completion
+            // (no active workers, empty overflow) or stealable work.
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            loop {
+                if self.aborted.load(Ordering::Relaxed) {
+                    return Ok(finish(start));
+                }
+                if !self.overflow.lock().is_empty() {
+                    self.active.fetch_add(1, Ordering::SeqCst);
+                    if self.steal(&mut local) {
+                        break;
+                    }
+                    self.active.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                if self.active.load(Ordering::SeqCst) == 0 {
+                    return Ok(finish(start));
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn full_gc(rt: &Jnvm, threads: usize, report: &mut RecoveryReport) -> Result<(), JnvmError> {
+    let heap = rt.heap();
+    let t_mark = Instant::now();
+    let bitmap = heap.new_bitmap();
+
+    // Roots: class table, root map, log directory (whose tracer yields the
+    // logs). Root slots are written once at format time; all three exist.
+    let roots: Vec<u64> = (0..3).map(|s| heap.root_slot(s)).filter(|a| *a != 0).collect();
+
+    // Workers beyond the root count start with empty stacks and pick up
+    // spilled work from the overflow as the traversal fans out.
+    let nworkers = threads.max(1);
+    let shared = MarkShared {
+        rt,
+        bitmap: &bitmap,
+        pool_claims: (0..CLAIM_SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        overflow: Mutex::new(Vec::new()),
+        active: AtomicUsize::new(nworkers),
+        aborted: AtomicBool::new(false),
+        live_objects: AtomicU64::new(0),
+        nullified_refs: AtomicU64::new(0),
+    };
+    // Deal the roots round-robin among the workers.
+    let mut stacks: Vec<Vec<u64>> = (0..nworkers).map(|_| Vec::new()).collect();
+    for (i, root) in roots.into_iter().enumerate() {
+        stacks[i % nworkers].push(root);
+    }
+    let (mark_times, mark_device) = if nworkers <= 1 {
+        let before = jnvm_pmem::thread_charged_ns();
+        let busy =
+            stacks.into_iter().next().map_or(Ok(Duration::ZERO), |s| shared.worker(s))?;
+        let dt = Duration::from_nanos(jnvm_pmem::thread_charged_ns() - before);
+        (vec![busy], vec![dt])
+    } else {
+        let results = jnvm_heap::par::run_workers_timed(stacks, |s| shared.worker(s));
+        let mut busy = Vec::with_capacity(results.len());
+        let mut device = Vec::with_capacity(results.len());
+        for (r, dt) in results {
+            busy.push(r?);
+            device.push(dt);
+        }
+        (busy, device)
+    };
+    report.live_objects = shared.live_objects.load(Ordering::Relaxed);
+    report.nullified_refs = shared.nullified_refs.load(Ordering::Relaxed);
+    report.mark_thread_times = mark_times;
+    report.modeled_mark_time = mark_device.iter().max().copied().unwrap_or_default();
+    report.mark_thread_device_times = mark_device;
     report.live_blocks = bitmap.marked_count();
-    rt.pools().rebuild(&bitmap, &live_slots);
-    report.freed_blocks = heap.rebuild_free_queue(&bitmap);
+    report.mark_time = t_mark.elapsed();
+
+    let live_slots: HashSet<u64> = shared
+        .pool_claims
+        .iter()
+        .flat_map(|s| s.lock().iter().copied().collect::<Vec<u64>>())
+        .collect();
+
+    let t_sweep = Instant::now();
+    let pool_device = rt.pools().rebuild_parallel(&bitmap, &live_slots, threads);
+    let (freed, queue_device) = heap.rebuild_free_queue_parallel(&bitmap, threads);
+    report.freed_blocks = freed;
+    report.modeled_sweep_time = pool_device.iter().max().copied().unwrap_or_default()
+        + queue_device.iter().max().copied().unwrap_or_default();
+    report.sweep_time = t_sweep.elapsed();
     Ok(())
 }
 
-fn header_scan(rt: &Jnvm, report: &mut RecoveryReport) {
+fn header_scan(rt: &Jnvm, threads: usize, report: &mut RecoveryReport) {
     let heap = rt.heap();
-    let mut bitmap = heap.new_bitmap();
-    let mut live_slots: HashSet<u64> = HashSet::new();
-    let mut masters: Vec<u64> = Vec::new();
-    heap.for_each_header(|idx, h| {
-        if h.id == CLASS_ID_POOL {
-            let mut any_live = false;
-            rt.pools().scan_block_slots(idx, |slot, mini| {
-                if mini.id != 0 && mini.valid {
-                    live_slots.insert(slot);
-                    any_live = true;
+    let t_mark = Instant::now();
+    let bitmap = heap.new_bitmap();
+
+    // Pass 1 (read-only, partitioned): find live pool slots and valid
+    // masters; mark pool blocks with at least one live slot.
+    let scan_chunk = |lo: u64, hi: u64| -> (HashSet<u64>, Vec<u64>) {
+        let mut live_slots: HashSet<u64> = HashSet::new();
+        let mut masters: Vec<u64> = Vec::new();
+        for idx in lo..hi {
+            let h = heap.read_header(idx);
+            if h.id == CLASS_ID_POOL {
+                let mut any_live = false;
+                rt.pools().scan_block_slots(idx, |slot, mini| {
+                    if mini.id != 0 && mini.valid {
+                        live_slots.insert(slot);
+                        any_live = true;
+                    }
+                });
+                if any_live {
+                    bitmap.mark(idx);
                 }
-            });
-            if any_live {
-                bitmap.mark(idx);
+            } else if h.is_valid_master() {
+                masters.push(idx);
             }
-        } else if h.is_valid_master() {
-            masters.push(idx);
         }
-    });
-    for m in masters {
-        for b in heap.chain_blocks(m) {
-            bitmap.mark(b);
-        }
-        report.live_objects += 1;
+        (live_slots, masters)
+    };
+    let chunks = jnvm_heap::par::partition_range(heap.data_start(), heap.scan_end(), threads);
+    type ScanOut = (Vec<(HashSet<u64>, Vec<u64>)>, Vec<Duration>);
+    let (scanned, scan_device): ScanOut =
+        if chunks.len() <= 1 {
+            let before = jnvm_pmem::thread_charged_ns();
+            let out: Vec<_> = chunks.into_iter().map(|(lo, hi)| scan_chunk(lo, hi)).collect();
+            let dt = Duration::from_nanos(jnvm_pmem::thread_charged_ns() - before);
+            (out, vec![dt])
+        } else {
+            // Read-only workers: no pfence needed.
+            jnvm_heap::par::run_workers_timed(chunks, |(lo, hi)| scan_chunk(lo, hi))
+                .into_iter()
+                .unzip()
+        };
+    let mut live_slots: HashSet<u64> = HashSet::new();
+    let mut master_lists: Vec<Vec<u64>> = Vec::new();
+    for (slots, masters) in scanned {
+        report.live_objects += masters.len() as u64;
+        live_slots.extend(slots);
+        master_lists.push(masters);
     }
+
+    // Pass 2 (read-only, partitioned): mark every kept master's chain.
+    let mut chain_device: Vec<Duration> = Vec::new();
+    if master_lists.iter().map(|m| m.len()).sum::<usize>() > 0 {
+        let mark_chunk = |masters: Vec<u64>| {
+            for m in masters {
+                for b in heap.chain_blocks(m) {
+                    bitmap.mark(b);
+                }
+            }
+        };
+        if threads <= 1 {
+            let before = jnvm_pmem::thread_charged_ns();
+            master_lists.into_iter().for_each(mark_chunk);
+            chain_device
+                .push(Duration::from_nanos(jnvm_pmem::thread_charged_ns() - before));
+        } else {
+            chain_device = jnvm_heap::par::run_workers_timed(master_lists, mark_chunk)
+                .into_iter()
+                .map(|(_, dt)| dt)
+                .collect();
+        }
+    }
+    report.modeled_mark_time = scan_device.iter().max().copied().unwrap_or_default()
+        + chain_device.iter().max().copied().unwrap_or_default();
+    report.mark_thread_device_times = scan_device;
     report.live_blocks = bitmap.marked_count();
-    rt.pools().rebuild(&bitmap, &live_slots);
-    report.freed_blocks = heap.rebuild_free_queue(&bitmap);
+    report.mark_time = t_mark.elapsed();
+
+    let t_sweep = Instant::now();
+    let pool_device = rt.pools().rebuild_parallel(&bitmap, &live_slots, threads);
+    let (freed, queue_device) = heap.rebuild_free_queue_parallel(&bitmap, threads);
+    report.freed_blocks = freed;
+    report.modeled_sweep_time = pool_device.iter().max().copied().unwrap_or_default()
+        + queue_device.iter().max().copied().unwrap_or_default();
+    report.sweep_time = t_sweep.elapsed();
 }

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use crate::error::JnvmError;
 use crate::fa::{self, FaManager};
 use crate::object::PObject;
-use crate::recovery::{self, RecoveryMode, RecoveryReport};
+use crate::recovery::{self, RecoveryMode, RecoveryOptions, RecoveryReport};
 use crate::registry::{ClassOps, ClassRegistry};
 use crate::rootmap::RootState;
 
@@ -61,11 +61,23 @@ impl JnvmBuilder {
     }
 
     /// Open with an explicit recovery mode (J-PFA-nogc uses
-    /// [`RecoveryMode::HeaderScanOnly`]).
+    /// [`RecoveryMode::HeaderScanOnly`]), recovering sequentially.
     pub fn open_with_mode(
         self,
         pmem: Arc<Pmem>,
         mode: RecoveryMode,
+    ) -> Result<(Jnvm, RecoveryReport), JnvmError> {
+        self.open_with_options(pmem, RecoveryOptions::with_mode(mode))
+    }
+
+    /// Open with full control over the recovery pass: its mode and the
+    /// number of worker threads for replay, mark and sweep. Any thread
+    /// count yields the same recovered heap (`threads: 1` is the
+    /// sequential oracle the equivalence suite compares against).
+    pub fn open_with_options(
+        self,
+        pmem: Arc<Pmem>,
+        opts: RecoveryOptions,
     ) -> Result<(Jnvm, RecoveryReport), JnvmError> {
         let heap = BlockHeap::open(pmem)?;
         let rt = JnvmRuntime::bare(heap);
@@ -73,7 +85,7 @@ impl JnvmBuilder {
         rt.registry
             .set(registry)
             .unwrap_or_else(|_| unreachable!("fresh runtime has no registry"));
-        let report = recovery::run(&rt, mode)?;
+        let report = recovery::run(&rt, opts)?;
         Ok((rt, report))
     }
 }

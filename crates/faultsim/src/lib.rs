@@ -167,6 +167,47 @@ pub fn sweep_all<Ctx>(
     summary
 }
 
+/// Like [`sweep`], for workloads that are **internally multi-threaded** —
+/// the canonical case being a parallel recovery pass, where the workload
+/// under test spawns its own replay/mark/sweep workers. Two differences
+/// from the single-threaded sweep:
+///
+/// * after an injected crash the device cache is resynchronized from media
+///   ([`Pmem::resync_cache`]) before `verify` runs — workers that were
+///   mid-store at the moment of the crash may have scribbled on the
+///   rebuilt cache;
+/// * the workload is expected to re-throw a worker's [`CrashInjected`]
+///   from the spawning thread (see `jnvm_heap::par::run_workers`), so the
+///   primary crash still reaches this driver's [`catch_crash`].
+pub fn sweep_resync<Ctx>(
+    points: impl IntoIterator<Item = u64>,
+    plan: FaultPlan,
+    mut setup: impl FnMut() -> (Arc<Pmem>, Ctx),
+    mut workload: impl FnMut(&Ctx),
+    mut verify: impl FnMut(&Arc<Pmem>, &CrashReport),
+) -> SweepSummary {
+    let mut summary = SweepSummary::default();
+    for point in points {
+        let (pmem, ctx) = setup();
+        pmem.arm_faults(FaultPlan {
+            mode: FaultMode::CrashAt(point),
+            ..plan
+        });
+        let outcome = catch_crash(|| workload(&ctx));
+        drop(ctx);
+        pmem.disarm_faults();
+        match outcome {
+            Err(crash) => {
+                pmem.resync_cache();
+                summary.points_crashed += 1;
+                verify(&pmem, &CrashReport { point, crash });
+            }
+            Ok(()) => summary.points_completed += 1,
+        }
+    }
+    summary
+}
+
 /// What happened at one crash point of a concurrent torture run.
 #[derive(Debug, Clone, Copy)]
 pub struct TortureOutcome {
@@ -471,6 +512,70 @@ mod tests {
         );
         assert_eq!(summary.points_injected, 2);
         assert_eq!(summary.points_completed, 1);
+    }
+
+    /// A workload that spawns its own workers (as parallel recovery does):
+    /// each worker is wrapped in [`catch_crash`] and the spawning thread
+    /// re-throws the primary crash, which [`sweep_resync`] must catch,
+    /// resync and hand to `verify`.
+    fn threaded_workload(pmem: &Arc<Pmem>) {
+        let crash = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2u64)
+                .map(|t| {
+                    let p = Arc::clone(pmem);
+                    s.spawn(move || {
+                        catch_crash(|| {
+                            let base = t * 4096;
+                            for i in 0..8u64 {
+                                p.write_u64(base + i * 64, i + 1);
+                                p.pwb(base + i * 64);
+                            }
+                            p.pfence();
+                        })
+                    })
+                })
+                .collect();
+            let mut primary: Option<CrashInjected> = None;
+            for h in handles {
+                if let Err(ci) = h.join().expect("no non-crash panics") {
+                    if primary.as_ref().is_none_or(|p| p.secondary && !ci.secondary) {
+                        primary = Some(ci);
+                    }
+                }
+            }
+            primary
+        });
+        if let Some(ci) = crash {
+            std::panic::panic_any(ci);
+        }
+    }
+
+    #[test]
+    fn sweep_resync_handles_internally_threaded_workloads() {
+        silence_crash_panics();
+        let setup = || {
+            let pmem = Pmem::new(PmemConfig::crash_sim(64 * 1024));
+            (Arc::clone(&pmem), pmem)
+        };
+        let total = count_ops(setup, threaded_workload);
+        assert!(total > 0);
+        let summary = sweep_resync(
+            strided_points(total, 8),
+            FaultPlan::count(),
+            setup,
+            threaded_workload,
+            |pmem, _report| {
+                // Post-resync reads must see media: each slot holds a value
+                // its owner wrote (or zero), never a torn cache leftover.
+                for t in 0..2u64 {
+                    for i in 0..8u64 {
+                        let v = pmem.read_u64(t * 4096 + i * 64);
+                        assert!(v == 0 || v == i + 1, "torn value {v}");
+                    }
+                }
+            },
+        );
+        assert!(summary.points_crashed > 0, "sweep must exercise crash points");
     }
 
     #[test]

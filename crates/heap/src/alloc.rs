@@ -3,6 +3,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::queue::SegQueue;
 use jnvm_pmem::Pmem;
@@ -13,6 +14,7 @@ use crate::layout::{
     SB_BLOCK_SIZE, SB_BUMP, SB_DATA_START, SB_MAGIC, SB_NBLOCKS, SB_ROOT_SLOTS, SB_VERSION,
     SUPERBLOCK_BYTES,
 };
+use crate::par::partition_range;
 use crate::scan::LiveBitmap;
 
 /// Heap geometry parameters.
@@ -368,14 +370,60 @@ impl BlockHeap {
     ///
     /// Returns the number of free blocks found.
     pub fn rebuild_free_queue(&self, live: &LiveBitmap) -> u64 {
+        self.rebuild_free_queue_parallel(live, 1).0
+    }
+
+    /// [`BlockHeap::rebuild_free_queue`] with the block range partitioned
+    /// over `threads` sweep workers. Every header clear is idempotent, so a
+    /// crash mid-sweep followed by a second recovery converges to the same
+    /// heap. With `threads <= 1` the sweep runs inline on the caller (the
+    /// sequential oracle path); workers issue their own `pfence` before
+    /// exiting, since a persistence domain drains only its owner's
+    /// write-backs. Free blocks enter the queue in ascending block order
+    /// regardless of the thread count.
+    ///
+    /// Returns the free-block count plus each sweep worker's modeled
+    /// device time (see [`crate::par::run_workers_timed`]).
+    pub fn rebuild_free_queue_parallel(
+        &self,
+        live: &LiveBitmap,
+        threads: usize,
+    ) -> (u64, Vec<Duration>) {
         let persisted_bump = self.bump().min(self.nblocks);
         let effective_bump = persisted_bump.max(live.highest_marked().map_or(0, |b| b + 1));
+        let sweep_chunk = |lo: u64, hi: u64| -> Vec<u64> {
+            let mut freed = Vec::new();
+            for idx in lo..hi {
+                if !live.is_marked(idx) {
+                    // Ensure a recycled block cannot resurrect as a stale
+                    // valid master: persistently clear its header.
+                    self.write_header_pwb(idx, BlockHeader::FREE);
+                    freed.push(idx);
+                }
+            }
+            freed
+        };
+        let chunks = partition_range(self.data_start, effective_bump, threads);
+        let (freed_lists, worker_times): (Vec<Vec<u64>>, Vec<Duration>) = if chunks.len() <= 1 {
+            let before = jnvm_pmem::thread_charged_ns();
+            let lists: Vec<Vec<u64>> =
+                chunks.into_iter().map(|(lo, hi)| sweep_chunk(lo, hi)).collect();
+            let dt = Duration::from_nanos(jnvm_pmem::thread_charged_ns() - before);
+            (lists, vec![dt])
+        } else {
+            crate::par::run_workers_timed(chunks, |(lo, hi)| {
+                let freed = sweep_chunk(lo, hi);
+                // Drain this worker's header-clear write-backs (a
+                // persistence domain drains only its owner's queue).
+                self.pmem.pfence();
+                freed
+            })
+            .into_iter()
+            .unzip()
+        };
         let mut freed = 0;
-        for idx in self.data_start..effective_bump {
-            if !live.is_marked(idx) {
-                // Ensure a recycled block cannot resurrect as a stale valid
-                // master: persistently clear its header.
-                self.write_header_pwb(idx, BlockHeader::FREE);
+        for list in freed_lists {
+            for idx in list {
                 self.free.push(idx);
                 freed += 1;
             }
@@ -385,7 +433,7 @@ impl BlockHeap {
             self.pmem.pwb(SB_BUMP);
         }
         self.pmem.psync();
-        freed
+        (freed, worker_times)
     }
 
     /// Create a liveness bitmap sized for this heap.
@@ -397,10 +445,16 @@ impl BlockHeap {
     /// header-inspection pass used by the fast `nogc` recovery variant
     /// (§5.3.3, J-PFA-nogc).
     pub fn for_each_header(&self, mut f: impl FnMut(u64, BlockHeader)) {
-        let bump = self.bump().min(self.nblocks);
-        for idx in self.data_start..bump {
+        for idx in self.data_start..self.scan_end() {
             f(idx, self.read_header(idx));
         }
+    }
+
+    /// One past the last block a header scan must visit (`min(bump,
+    /// nblocks)`). Parallel recovery passes partition `[data_start,
+    /// scan_end)` among their workers.
+    pub fn scan_end(&self) -> u64 {
+        self.bump().min(self.nblocks)
     }
 }
 
@@ -566,7 +620,7 @@ mod tests {
         let dead = h.alloc_chain(5, 8).unwrap(); // 1 block
         h.set_valid(live, true);
         h.set_valid(dead, true);
-        let mut bm = h.new_bitmap();
+        let bm = h.new_bitmap();
         for b in h.chain_blocks(live) {
             bm.mark(b);
         }
@@ -585,7 +639,7 @@ mod tests {
         h.set_valid(a, true);
         // Pretend the bump never persisted: reset it to data_start.
         pmem.write_u64(super::SB_BUMP, h.data_start());
-        let mut bm = h.new_bitmap();
+        let bm = h.new_bitmap();
         bm.mark(a);
         h.rebuild_free_queue(&bm);
         // Allocating must not hand out block `a` again.

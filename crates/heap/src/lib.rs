@@ -26,6 +26,7 @@
 
 mod alloc;
 mod error;
+pub mod par;
 #[cfg(test)]
 mod proptests;
 mod layout;

@@ -22,6 +22,7 @@
 
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::queue::SegQueue;
 
@@ -202,29 +203,81 @@ impl PoolManager {
     /// the free-slot queues. Unmarked pool blocks are reclaimed wholesale by
     /// [`BlockHeap::rebuild_free_queue`]. Call this *before* that.
     pub fn rebuild(&self, bitmap: &LiveBitmap, live_slots: &HashSet<u64>) {
+        let _ = self.rebuild_parallel(bitmap, live_slots, 1);
+    }
+
+    /// [`PoolManager::rebuild`] with the pool-block scan partitioned over
+    /// `threads` sweep workers. Slot clears are idempotent (a crashed sweep
+    /// redone from scratch converges), and each worker `pfence`s its own
+    /// persistence domain before exiting. Free slots enter the queues in
+    /// ascending block order regardless of the thread count, so the queue
+    /// contents match the sequential pass exactly.
+    ///
+    /// Returns each sweep worker's modeled device time (see
+    /// [`crate::par::run_workers_timed`]).
+    pub fn rebuild_parallel(
+        &self,
+        bitmap: &LiveBitmap,
+        live_slots: &HashSet<u64>,
+        threads: usize,
+    ) -> Vec<Duration> {
         let pmem = self.heap.pmem();
-        self.heap.for_each_header(|idx, h| {
-            if h.id != CLASS_ID_POOL || !bitmap.is_marked(idx) {
-                return;
-            }
-            let base = self.heap.block_addr(idx);
-            let payload = pmem.read_u32(base + 8) as u64;
-            let Some(ci) = self.classes.iter().position(|c| *c == payload) else {
-                return;
-            };
-            let nslots = pmem.read_u32(base + 12) as u64;
-            for i in 0..nslots {
-                let slot = base + 16 + i * Self::slot_total(payload);
-                if live_slots.contains(&slot) {
+        // Sweep `[lo, hi)` of the block range, clearing dead slots in
+        // marked pool blocks; returns (class index, slot addr) pairs to
+        // queue, in block order.
+        let sweep_chunk = |lo: u64, hi: u64| -> Vec<(usize, u64)> {
+            let mut freed = Vec::new();
+            for idx in lo..hi {
+                let h = self.heap.read_header(idx);
+                if h.id != CLASS_ID_POOL || !bitmap.is_marked(idx) {
                     continue;
                 }
-                if pmem.read_u64(slot) != 0 {
-                    pmem.write_u64(slot, 0);
-                    pmem.pwb(slot);
+                let base = self.heap.block_addr(idx);
+                let payload = pmem.read_u32(base + 8) as u64;
+                let Some(ci) = self.classes.iter().position(|c| *c == payload) else {
+                    continue;
+                };
+                let nslots = pmem.read_u32(base + 12) as u64;
+                for i in 0..nslots {
+                    let slot = base + 16 + i * Self::slot_total(payload);
+                    if live_slots.contains(&slot) {
+                        continue;
+                    }
+                    if pmem.read_u64(slot) != 0 {
+                        pmem.write_u64(slot, 0);
+                        pmem.pwb(slot);
+                    }
+                    freed.push((ci, slot));
                 }
+            }
+            freed
+        };
+        let chunks =
+            crate::par::partition_range(self.heap.data_start(), self.heap.scan_end(), threads);
+        let (freed_lists, worker_times): (Vec<Vec<(usize, u64)>>, Vec<Duration>) =
+            if chunks.len() <= 1 {
+                let before = jnvm_pmem::thread_charged_ns();
+                let lists: Vec<Vec<(usize, u64)>> =
+                    chunks.into_iter().map(|(lo, hi)| sweep_chunk(lo, hi)).collect();
+                let dt = Duration::from_nanos(jnvm_pmem::thread_charged_ns() - before);
+                (lists, vec![dt])
+            } else {
+                crate::par::run_workers_timed(chunks, |(lo, hi)| {
+                    let freed = sweep_chunk(lo, hi);
+                    // Drain this worker's slot-clear write-backs (a persistence
+                    // domain drains only its owner's queue).
+                    pmem.pfence();
+                    freed
+                })
+                .into_iter()
+                .unzip()
+            };
+        for list in freed_lists {
+            for (ci, slot) in list {
                 self.queues[ci].push(slot);
             }
-        });
+        }
+        worker_times
     }
 
     /// Iterate the slots of the pool block `idx`, yielding each slot's
@@ -366,7 +419,7 @@ mod tests {
 
         // Simulate restart: new manager with empty queues.
         let pm2 = PoolManager::new(Arc::clone(&heap));
-        let mut bm = heap.new_bitmap();
+        let bm = heap.new_bitmap();
         bm.mark(heap.block_of_addr(live));
         let mut live_slots = HashSet::new();
         live_slots.insert(live);

@@ -3,11 +3,12 @@
 //! agrees with ground truth.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use crate::{BlockHeap, HeapConfig, PoolManager};
+use crate::{BlockHeap, HeapConfig, LiveBitmap, PoolManager};
 use jnvm_pmem::{Pmem, PmemConfig};
 
 #[derive(Debug, Clone)]
@@ -114,7 +115,7 @@ proptest! {
             heap.set_valid(m, true);
             masters.push(m);
         }
-        let mut bm = heap.new_bitmap();
+        let bm = heap.new_bitmap();
         let mut live_blocks: HashSet<u64> = HashSet::new();
         let mut dead_blocks: HashSet<u64> = HashSet::new();
         for (i, m) in masters.iter().enumerate() {
@@ -142,5 +143,98 @@ proptest! {
             prop_assert!(!live_blocks.contains(b));
         }
         prop_assert_eq!(drained.len() as u64, freed);
+    }
+
+    /// Striped-bitmap equivalence: an arbitrary mark stream, split over 4
+    /// concurrent markers, counts each block exactly once — the sum of
+    /// fresh `mark` returns, `marked_count` and `highest_marked` all agree
+    /// with a sequential replay of the same stream.
+    #[test]
+    fn concurrent_mark_stream_matches_sequential_replay(
+        stream in proptest::collection::vec(0u64..2048, 1..400),
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let nblocks = 2048;
+        // Sequential oracle.
+        let seq = crate::LiveBitmap::new(nblocks);
+        let mut seq_fresh = 0u64;
+        for idx in &stream {
+            if seq.mark(*idx) {
+                seq_fresh += 1;
+            }
+        }
+
+        // Concurrent run: the same stream dealt round-robin to 4 threads.
+        let conc = crate::LiveBitmap::new(nblocks);
+        let fresh = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let conc = &conc;
+                let fresh = &fresh;
+                let stream = &stream;
+                s.spawn(move || {
+                    for idx in stream.iter().skip(t).step_by(4) {
+                        if conc.mark(*idx) {
+                            fresh.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(fresh.load(Ordering::Relaxed), seq_fresh);
+        prop_assert_eq!(conc.marked_count(), seq.marked_count());
+        prop_assert_eq!(conc.highest_marked(), seq.highest_marked());
+        for idx in 0..nblocks {
+            prop_assert_eq!(conc.is_marked(idx), seq.is_marked(idx));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Striped-bitmap property behind the parallel mark: marking a random
+    /// stream from 4 threads counts each block exactly once (the sum of
+    /// fresh `mark` returns equals the distinct-block count), and
+    /// `marked_count`/`highest_marked` agree with a sequential replay of
+    /// the same stream.
+    #[test]
+    fn concurrent_bitmap_marks_agree_with_sequential_replay(
+        nblocks in 1u64..2048,
+        raw in proptest::collection::vec(any::<u64>(), 0..600),
+    ) {
+        let stream: Vec<u64> = raw.into_iter().map(|i| i % nblocks).collect();
+        let seq = LiveBitmap::new(nblocks);
+        let mut seq_fresh = 0u64;
+        for &i in &stream {
+            if seq.mark(i) {
+                seq_fresh += 1;
+            }
+        }
+
+        let conc = LiveBitmap::new(nblocks);
+        let fresh = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let conc = &conc;
+                let fresh = &fresh;
+                let stream = &stream;
+                s.spawn(move || {
+                    for &i in stream.iter().skip(t).step_by(4) {
+                        if conc.mark(i) {
+                            fresh.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(fresh.load(Ordering::Relaxed), seq_fresh);
+        prop_assert_eq!(conc.marked_count(), seq.marked_count());
+        prop_assert_eq!(conc.highest_marked(), seq.highest_marked());
+        for &i in &stream {
+            prop_assert!(conc.is_marked(i));
+        }
     }
 }

@@ -147,12 +147,12 @@ impl Pmem {
 
     /// Bump the injected-crash counter (called by the engine only).
     pub(crate) fn record_injected_crash(&self) {
-        self.stats.injected_crashes.fetch_add(1, Ordering::Relaxed);
+        self.stats.injected_crashes.add(1);
     }
 
     /// Bump the secondary-unwind counter (called by the engine only).
     pub(crate) fn record_secondary_unwind(&self) {
-        self.stats.secondary_unwinds.fetch_add(1, Ordering::Relaxed);
+        self.stats.secondary_unwinds.add(1);
     }
 
     #[inline]
@@ -530,7 +530,7 @@ impl Pmem {
         if self.fault_point(FaultOp::Pwb, addr) {
             return;
         }
-        self.stats.pwbs.fetch_add(1, Ordering::Relaxed);
+        self.stats.pwbs.add(1);
         if self.latency_on {
             spin_ns(self.latency.pwb_ns);
         }
@@ -604,7 +604,7 @@ impl Pmem {
         if self.fault_point(FaultOp::Pfence, 0) {
             return;
         }
-        self.stats.pfences.fetch_add(1, Ordering::Relaxed);
+        self.stats.pfences.add(1);
         if self.latency_on {
             spin_ns(self.latency.pfence_ns);
         }
@@ -620,7 +620,7 @@ impl Pmem {
         if self.fault_point(FaultOp::Psync, 0) {
             return;
         }
-        self.stats.psyncs.fetch_add(1, Ordering::Relaxed);
+        self.stats.psyncs.add(1);
         if self.latency_on {
             spin_ns(self.latency.psync_ns);
         }
@@ -649,7 +649,7 @@ impl Pmem {
     pub fn crash(&self, policy: &CrashPolicy) -> Result<(), PmemError> {
         let sim = self.sim.as_ref().ok_or(PmemError::CrashSimRequired)?;
         let _g = sim.crash_lock.lock();
-        self.stats.crashes.fetch_add(1, Ordering::Relaxed);
+        self.stats.crashes.add(1);
         let mut rng = StdRng::seed_from_u64(policy.seed);
         let nlines = sim.line_state.len();
         for line in 0..nlines {

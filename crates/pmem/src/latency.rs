@@ -4,8 +4,28 @@
 //! is itself tens of nanoseconds, so the hot path instead runs a spin loop
 //! whose iteration rate is calibrated once per process.
 
+use std::cell::Cell;
 use std::sync::OnceLock;
 use std::time::Instant;
+
+thread_local! {
+    /// Nanoseconds the latency model has charged the calling thread.
+    static CHARGED_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total latency-model nanoseconds charged to the calling thread so far.
+///
+/// Every [`spin_ns`] call both busy-waits and adds to this per-thread
+/// counter, so a delta around a stretch of work is that thread's *modeled*
+/// time on the simulated medium — the time the thread would spend if it
+/// had a dedicated core. Wall clock and this counter agree when the host
+/// has a core per thread; on smaller hosts (notably 1-CPU CI containers)
+/// busy-waiting threads time-share and wall clock cannot show parallel
+/// speedup, while per-thread charged time still can. Zero on devices with
+/// no latency model.
+pub fn thread_charged_ns() -> u64 {
+    CHARGED_NS.with(|c| c.get())
+}
 
 /// Spin-loop iterations executed per nanosecond, measured once.
 fn iters_per_ns() -> f64 {
@@ -37,6 +57,7 @@ pub fn spin_ns(ns: u64) {
     if ns == 0 {
         return;
     }
+    CHARGED_NS.with(|c| c.set(c.get() + ns));
     let iters = (ns as f64 * iters_per_ns()) as u64;
     spin_iters(iters.max(1));
 }

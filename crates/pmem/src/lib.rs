@@ -46,5 +46,5 @@ pub use config::{CrashPolicy, FaultMode, FaultPlan, LatencyProfile, PmemConfig, 
 pub use device::{Pmem, CACHE_LINE};
 pub use error::PmemError;
 pub use inject::{catch_crash, silence_crash_panics, CrashInjected, FaultOp, TraceRecord};
-pub use latency::spin_ns;
+pub use latency::{spin_ns, thread_charged_ns};
 pub use stats::{PmemStats, StatsSnapshot};

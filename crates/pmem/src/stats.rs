@@ -1,61 +1,109 @@
 //! Operation counters of the device.
+//!
+//! Every counter is **sharded**: each thread bumps a cache-line-padded
+//! cell picked by a thread-local slot, and readers sum the cells. With the
+//! parallel recovery engine N workers hammer these counters on every
+//! device op; a single `AtomicU64` per counter serializes them on one
+//! contended line and shows up in the recovery thread-scaling bench.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Internal atomic counters; every device operation bumps one of these.
+/// Shards per counter. Power of two, comfortably above the recovery
+/// thread counts exercised in the benches.
+const SHARDS: usize = 16;
+
+/// This thread's shard slot, assigned round-robin at first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SLOT.with(|s| *s)
+}
+
+/// One shard cell, padded onto its own cache line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Cell(AtomicU64);
+
+/// A `u64` counter striped over [`SHARDS`] cells. Writers touch only their
+/// own thread's cell; `sum` merges on read.
+#[derive(Debug, Default)]
+pub(crate) struct ShardedU64 {
+    cells: [Cell; SHARDS],
+}
+
+impl ShardedU64 {
+    #[inline]
+    pub(crate) fn add(&self, n: u64) {
+        self.cells[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for c in &self.cells {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Internal sharded counters; every device operation bumps one of these.
 #[derive(Debug, Default)]
 pub struct PmemStats {
-    pub(crate) reads: AtomicU64,
-    pub(crate) writes: AtomicU64,
-    pub(crate) bytes_read: AtomicU64,
-    pub(crate) bytes_written: AtomicU64,
-    pub(crate) pwbs: AtomicU64,
-    pub(crate) pfences: AtomicU64,
-    pub(crate) psyncs: AtomicU64,
-    pub(crate) crashes: AtomicU64,
-    pub(crate) injected_crashes: AtomicU64,
-    pub(crate) secondary_unwinds: AtomicU64,
+    pub(crate) reads: ShardedU64,
+    pub(crate) writes: ShardedU64,
+    pub(crate) bytes_read: ShardedU64,
+    pub(crate) bytes_written: ShardedU64,
+    pub(crate) pwbs: ShardedU64,
+    pub(crate) pfences: ShardedU64,
+    pub(crate) psyncs: ShardedU64,
+    pub(crate) crashes: ShardedU64,
+    pub(crate) injected_crashes: ShardedU64,
+    pub(crate) secondary_unwinds: ShardedU64,
 }
 
 impl PmemStats {
     pub(crate) fn record_read(&self, bytes: u64) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.reads.add(1);
+        self.bytes_read.add(bytes);
     }
 
     pub(crate) fn record_write(&self, bytes: u64) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.writes.add(1);
+        self.bytes_written.add(bytes);
     }
 
     /// Capture a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            pwbs: self.pwbs.load(Ordering::Relaxed),
-            pfences: self.pfences.load(Ordering::Relaxed),
-            psyncs: self.psyncs.load(Ordering::Relaxed),
-            crashes: self.crashes.load(Ordering::Relaxed),
-            injected_crashes: self.injected_crashes.load(Ordering::Relaxed),
-            secondary_unwinds: self.secondary_unwinds.load(Ordering::Relaxed),
+            reads: self.reads.sum(),
+            writes: self.writes.sum(),
+            bytes_read: self.bytes_read.sum(),
+            bytes_written: self.bytes_written.sum(),
+            pwbs: self.pwbs.sum(),
+            pfences: self.pfences.sum(),
+            psyncs: self.psyncs.sum(),
+            crashes: self.crashes.sum(),
+            injected_crashes: self.injected_crashes.sum(),
+            secondary_unwinds: self.secondary_unwinds.sum(),
         }
     }
 
     /// Reset every counter to zero.
     pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.bytes_written.store(0, Ordering::Relaxed);
-        self.pwbs.store(0, Ordering::Relaxed);
-        self.pfences.store(0, Ordering::Relaxed);
-        self.psyncs.store(0, Ordering::Relaxed);
-        self.crashes.store(0, Ordering::Relaxed);
-        self.injected_crashes.store(0, Ordering::Relaxed);
-        self.secondary_unwinds.store(0, Ordering::Relaxed);
+        self.reads.reset();
+        self.writes.reset();
+        self.bytes_read.reset();
+        self.bytes_written.reset();
+        self.pwbs.reset();
+        self.pfences.reset();
+        self.psyncs.reset();
+        self.crashes.reset();
+        self.injected_crashes.reset();
+        self.secondary_unwinds.reset();
     }
 }
 

@@ -41,6 +41,7 @@ fn torture_cfg(args: &Args) -> TortureConfig {
         load: load_cfg(args),
         shards: args.get_or("shards", 16),
         pool_bytes: args.get_or::<u64>("pool-mb", 64) << 20,
+        recovery_threads: args.get_or("recovery-threads", 1),
         server: ServerConfig {
             batch_max: args.get_or("batch-max", 64),
             queue_cap: args.get_or("queue-cap", 256),

@@ -3,21 +3,28 @@
 //!
 //! ```text
 //! jnvm-server [--pool-mb 256] [--shards 16] [--batch-max 64]
-//!             [--queue-cap 256] [--no-fa]
+//!             [--queue-cap 256] [--no-fa] [--recovery-threads 1]
+//!             [--restart-drill]
 //! ```
 //!
 //! Binds an ephemeral localhost port and prints `listening on <addr>`;
 //! drive it with `jnvm-loadgen --addr <addr>` or any client speaking the
 //! protocol in `jnvm_server::proto`. A SHUTDOWN frame stops it and dumps
 //! the final STATS block.
+//!
+//! `--recovery-threads N` sets the worker-thread count of the recovery
+//! pass whenever this process reopens its pool; `--restart-drill`
+//! exercises it before serving: the freshly formatted pool is crashed,
+//! reopened with an N-way recovery, and the recovery report printed, so
+//! the served heap is a *recovered* heap.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use jnvm::JnvmBuilder;
+use jnvm::{Jnvm, JnvmBuilder, RecoveryOptions};
 use jnvm_heap::HeapConfig;
 use jnvm_kvstore::{register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend};
-use jnvm_pmem::{Pmem, PmemConfig};
+use jnvm_pmem::{CrashPolicy, Pmem, PmemConfig};
 use jnvm_server::{Args, Server, ServerConfig};
 
 fn main() {
@@ -30,11 +37,47 @@ fn main() {
         queue_cap: args.get_or("queue-cap", 256),
     };
 
+    let recovery_threads: usize = args.get_or("recovery-threads", 1);
+
     let pmem = Pmem::new(PmemConfig::crash_sim(pool_mb << 20));
     let rt = register_kvstore(JnvmBuilder::new())
         .create(Arc::clone(&pmem), HeapConfig::default())
         .expect("create pool");
-    let be = Arc::new(JnvmBackend::create(&rt, shards.max(1), fa).expect("create backend"));
+    let mut rt: Jnvm = rt;
+    let mut be = Arc::new(JnvmBackend::create(&rt, shards.max(1), fa).expect("create backend"));
+    // `rt` is never queried again after backend construction, but it must
+    // outlive the server: dropping the runtime tears down the heap the
+    // backend's proxies point into.
+
+    if args.has("restart-drill") {
+        // Crash the fresh pool and serve the *recovered* heap: the same
+        // reopen path a real restart takes, at the configured thread count.
+        rt.psync();
+        drop(be);
+        drop(rt);
+        pmem.crash(&CrashPolicy::strict()).expect("simulated power failure");
+        let (rt2, report) = register_kvstore(JnvmBuilder::new())
+            .open_with_options(
+                Arc::clone(&pmem),
+                RecoveryOptions::parallel(recovery_threads),
+            )
+            .expect("recovery");
+        println!(
+            "restart drill: threads={} replayed={} live_objects={} live_blocks={} \
+             freed_blocks={} gc={:.3}ms (modeled {:.3}ms)",
+            report.threads,
+            report.replayed_logs,
+            report.live_objects,
+            report.live_blocks,
+            report.freed_blocks,
+            report.gc_time.as_secs_f64() * 1e3,
+            report.modeled_gc_time().as_secs_f64() * 1e3,
+        );
+        be = Arc::new(JnvmBackend::open(&rt2, fa).expect("backend reopen"));
+        rt = rt2;
+    }
+    let _keepalive = rt;
+
     let grid = Arc::new(DataGrid::new(
         Arc::clone(&be) as Arc<dyn Backend>,
         GridConfig {
@@ -46,8 +89,8 @@ fn main() {
         .expect("bind server");
     println!("listening on {}", server.addr());
     println!(
-        "pool={} MiB shards={} fa={} batch_max={} queue_cap={}",
-        pool_mb, shards, fa, cfg.batch_max, cfg.queue_cap
+        "pool={} MiB shards={} fa={} batch_max={} queue_cap={} recovery_threads={}",
+        pool_mb, shards, fa, cfg.batch_max, cfg.queue_cap, recovery_threads
     );
 
     while !server.shutdown_requested() && !server.is_dead() {

@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use jnvm::JnvmBuilder;
+use jnvm::{JnvmBuilder, RecoveryOptions};
 use jnvm_heap::HeapConfig;
 use jnvm_kvstore::{
     register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend, Record,
@@ -41,6 +41,10 @@ pub struct TortureConfig {
     pub shards: usize,
     /// Simulated pool size in bytes.
     pub pool_bytes: u64,
+    /// Worker threads for the post-kill recovery pass (`1` is the
+    /// sequential oracle; the reopened heap is identical either way —
+    /// see `tests/recovery_equivalence.rs`).
+    pub recovery_threads: usize,
     /// Server tunables.
     pub server: ServerConfig,
 }
@@ -51,6 +55,7 @@ impl Default for TortureConfig {
             load: LoadgenConfig::default(),
             shards: 16,
             pool_bytes: 64 << 20,
+            recovery_threads: 1,
             server: ServerConfig::default(),
         }
     }
@@ -158,7 +163,10 @@ pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport
     }
 
     let (rt2, _report) = register_kvstore(JnvmBuilder::new())
-        .open(Arc::clone(&pmem))
+        .open_with_options(
+            Arc::clone(&pmem),
+            RecoveryOptions::parallel(cfg.recovery_threads.max(1)),
+        )
         .map_err(|e| format!("reopen after crash at point {point}: {e}"))?;
     let be2 = JnvmBackend::open(&rt2, true)
         .map_err(|e| format!("backend reopen after crash at point {point}: {e}"))?;

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-use jnvm::{JnvmBuilder, RecoveryMode, RecoveryReport};
+use jnvm::{JnvmBuilder, RecoveryMode, RecoveryOptions, RecoveryReport};
 use jnvm_heap::HeapConfig;
 use jnvm_kvstore::CostModel;
 use jnvm_pmem::{CrashPolicy, Pmem, PmemConfig};
@@ -48,6 +48,9 @@ pub struct TimelineConfig {
     pub initial_balance: i64,
     /// Load-injector threads.
     pub threads: usize,
+    /// Worker threads of the recovery pass at restart (replay, mark,
+    /// sweep). `1` is the sequential pass.
+    pub recovery_threads: usize,
     /// Seconds of load before the crash (paper: 60 s).
     pub run_before: Duration,
     /// Seconds of load after recovery.
@@ -69,6 +72,7 @@ impl Default for TimelineConfig {
             accounts: 100_000,
             initial_balance: 100,
             threads: 4,
+            recovery_threads: 1,
             run_before: Duration::from_secs(2),
             run_after: Duration::from_secs(2),
             bucket: Duration::from_millis(250),
@@ -210,7 +214,10 @@ pub fn run_timeline(kind: BankKind, cfg: &TimelineConfig) -> TimelineReport {
                 RecoveryMode::Full
             };
             let (rt, report) = register_tpcb(JnvmBuilder::new())
-                .open_with_mode(Arc::clone(pmem.as_ref().expect("jnvm has a pool")), mode)
+                .open_with_options(
+                    Arc::clone(pmem.as_ref().expect("jnvm has a pool")),
+                    RecoveryOptions { mode, threads: cfg.recovery_threads },
+                )
                 .expect("recovery");
             recovery = Some(report);
             Arc::new(JnvmBank::open(&rt).expect("bank reopen"))
@@ -312,6 +319,14 @@ mod tests {
         let nogc_rec = nogc.recovery.unwrap();
         assert!(full_rec.mode_full);
         assert!(!nogc_rec.mode_full);
+    }
+
+    #[test]
+    fn jpfa_timeline_with_parallel_recovery_conserves_money() {
+        let cfg = TimelineConfig { recovery_threads: 4, ..tiny() };
+        let r = run_timeline(BankKind::Jpfa, &cfg);
+        assert!(r.money_conserved, "parallel recovery must not tear transfers");
+        assert_eq!(r.recovery.expect("recovery ran").threads, 4);
     }
 
     #[test]

@@ -125,8 +125,31 @@ fn kill_during_traffic_strided_sweep() {
     assert!(injected >= 3, "sweep barely injected: {injected}/5 points");
 }
 
+/// The strided kill sweep again, but the post-kill reopen recovers on 4
+/// worker threads: the acked-durability and untorn-record verdicts must
+/// not depend on the recovery thread count (the full bit-level proof is
+/// `tests/recovery_equivalence.rs`; this holds the server wiring to it).
+#[test]
+fn kill_during_traffic_recovers_in_parallel() {
+    let cfg = TortureConfig {
+        recovery_threads: 4,
+        ..small_torture()
+    };
+    let total = traffic_op_count(&cfg);
+    let mut injected = 0;
+    for point in strided_points(total, 3) {
+        let report = kill_during_traffic(point, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        if report.injected {
+            injected += 1;
+        }
+    }
+    assert!(injected >= 2, "sweep barely injected: {injected}/3 points");
+}
+
 /// The wide sweep for the scheduled torture job
 /// (`cargo test --release --test server_torture -- --ignored`).
+/// Recovers on 4 threads so the torture job also exercises the parallel
+/// reopen path at scale.
 #[test]
 #[ignore]
 fn kill_during_traffic_wide_sweep() {
@@ -138,6 +161,7 @@ fn kill_during_traffic_wide_sweep() {
             fields: 4,
             value_size: 64,
         },
+        recovery_threads: 4,
         ..TortureConfig::default()
     };
     let total = traffic_op_count(&cfg);
