@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jnvm::{persistent_class, JnvmBuilder};
 use jnvm_heap::HeapConfig;
-use jnvm_pmem::{Pmem, PmemConfig, LatencyProfile, SimMode};
+use jnvm_pmem::{Pmem, PmemConfig, LatencyProfile, SanitizeMode, SimMode};
 
 persistent_class! {
     pub class Item {
@@ -21,6 +21,7 @@ fn bench(c: &mut Criterion) {
         size: 1 << 30,
         mode: SimMode::Performance,
         latency: LatencyProfile::optane_like(),
+        sanitize: SanitizeMode::from_env(),
     });
     let rt = JnvmBuilder::new()
         .register::<Item>()

@@ -8,7 +8,7 @@ use jnvm_kvstore::{
     register_kvstore, Backend, CostModel, DataGrid, FsBackend, GridConfig, JnvmBackend,
     NullFsBackend, PcjBackend, TmpfsBackend, VolatileBackend,
 };
-use jnvm_pmem::{LatencyProfile, Pmem, PmemConfig, SimMode};
+use jnvm_pmem::{LatencyProfile, Pmem, PmemConfig, SanitizeMode, SimMode};
 
 /// The persistent backends of §5.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +145,7 @@ pub fn make_grid(
                 size: pool,
                 mode: SimMode::Performance,
                 latency: LatencyProfile::dram(),
+                sanitize: SanitizeMode::from_env(),
             });
             let be: Arc<dyn Backend> =
                 Arc::new(TmpfsBackend::new(Arc::clone(&pmem), encoded_max, costs));
@@ -160,6 +161,7 @@ pub fn make_grid(
                 size: pool,
                 mode: SimMode::Performance,
                 latency: lat(optane),
+                sanitize: SanitizeMode::from_env(),
             });
             let be: Arc<dyn Backend> =
                 Arc::new(FsBackend::new(Arc::clone(&pmem), encoded_max, costs));
@@ -176,6 +178,7 @@ pub fn make_grid(
                 size: pool,
                 mode: SimMode::Performance,
                 latency: lat(optane),
+                sanitize: SanitizeMode::from_env(),
             });
             let rt = register_kvstore(JnvmBuilder::new())
                 .create(Arc::clone(&pmem), HeapConfig::default())
@@ -197,6 +200,7 @@ pub fn make_grid(
                 size: pool,
                 mode: SimMode::Performance,
                 latency: lat(optane),
+                sanitize: SanitizeMode::from_env(),
             });
             let rt = register_kvstore(JnvmBuilder::new())
                 .create(Arc::clone(&pmem), HeapConfig::default())

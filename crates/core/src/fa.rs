@@ -116,9 +116,13 @@ impl FaManager {
         dir.pwb_field(8 + *cursor * 8, 8);
         rt.pmem().pfence();
         *cursor += 1;
-        LogHandle {
-            chain: RawChain::open(rt, log.addr()),
-        }
+        let chain = RawChain::open(rt, log.addr());
+        // The directory now durably references the log; its initialized
+        // committed-flag/count words must be persisted with it, or recovery
+        // could chase the slot into an uninitialized log.
+        rt.pmem()
+            .ordering_point("log-publish", &[(chain.phys(LOG_COMMITTED), 16)]);
+        LogHandle { chain }
     }
 
     fn release_log(&self, log: LogHandle) {
@@ -181,13 +185,17 @@ impl FaManager {
         // eviction a crash could otherwise persist the flag-clear while
         // losing applied data, and the next recovery would skip the torn
         // log. Hence the fence between the two steps.
-        let replay_one = |info: &LogInfo| -> Result<(), JnvmError> {
-            apply_entries(rt, &info.chain, info.count, false)?;
-            pmem.pfence();
-            pmem.write_u64(info.chain.phys(LOG_COMMITTED), 0);
-            pmem.pwb(info.chain.phys(LOG_COMMITTED));
-            Ok(())
-        };
+        let replay_one =
+            |info: &LogInfo, mut fp: Option<&mut Vec<(u64, u64)>>| -> Result<(), JnvmError> {
+                apply_entries(rt, &info.chain, info.count, false, fp.as_deref_mut())?;
+                pmem.pfence();
+                pmem.write_u64(info.chain.phys(LOG_COMMITTED), 0);
+                pmem.pwb(info.chain.phys(LOG_COMMITTED));
+                if let Some(fp) = fp {
+                    fp.push((info.chain.phys(LOG_COMMITTED), 8));
+                }
+                Ok(())
+            };
 
         let committed_idx: Vec<usize> = infos
             .iter()
@@ -195,13 +203,17 @@ impl FaManager {
             .filter(|(_, i)| i.committed)
             .map(|(i, _)| i)
             .collect();
+        let collect = pmem.sanitizer_active();
         let mut thread_times: Vec<Duration> = Vec::new();
         let mut device_times: Vec<Duration> = Vec::new();
+        // Retire footprint of the inline replay path, validated behind the
+        // closing fence (parallel workers validate their own domains).
+        let mut inline_fp: Vec<(u64, u64)> = Vec::new();
         let replayed = if threads <= 1 || committed_idx.len() <= 1 {
             let t = Instant::now();
             let before = jnvm_pmem::thread_charged_ns();
             for &li in &committed_idx {
-                replay_one(&infos[li])?;
+                replay_one(&infos[li], if collect { Some(&mut inline_fp) } else { None })?;
             }
             device_times.push(Duration::from_nanos(jnvm_pmem::thread_charged_ns() - before));
             thread_times.push(t.elapsed());
@@ -262,15 +274,19 @@ impl FaManager {
                 jnvm_heap::par::run_workers_timed(buckets, |bucket| {
                     let t = Instant::now();
                     let mut n = 0;
+                    let mut wfp: Vec<(u64, u64)> = Vec::new();
                     for ui in bucket {
                         for &li in &units[ui].0 {
-                            replay_one(&infos[li])?;
+                            replay_one(&infos[li], if collect { Some(&mut wfp) } else { None })?;
                             n += 1;
                         }
                     }
                     // Drain this worker's retire write-backs (a persistence
                     // domain drains only its owner's queue).
                     pmem.pfence();
+                    // Everything this worker replayed is durable in its own
+                    // domain behind its own fence.
+                    pmem.ordering_point("recovery-retire", &wfp);
                     Ok((n, t.elapsed()))
                 });
             let mut n = 0;
@@ -289,6 +305,11 @@ impl FaManager {
             self.free_logs.push(LogHandle { chain: info.chain });
         }
         pmem.pfence();
+        if !inline_fp.is_empty() {
+            // The inline replay's applied ranges and cleared flags are
+            // durable behind the closing fence.
+            pmem.ordering_point("recovery-retire", &inline_fp);
+        }
         Ok((replayed, abandoned, thread_times, device_times))
     }
 }
@@ -545,6 +566,7 @@ fn apply_entries(
     chain: &RawChain,
     count: u64,
     runtime_commit: bool,
+    mut footprint: Option<&mut Vec<(u64, u64)>>,
 ) -> Result<DeferredReclaim, JnvmError> {
     let pmem = rt.pmem();
     let heap = rt.heap();
@@ -556,6 +578,9 @@ fn apply_entries(
         match kind {
             KIND_ALLOC => {
                 rt.set_valid_addr(a, true);
+                if let Some(fp) = footprint.as_deref_mut() {
+                    fp.push((a, 8));
+                }
             }
             KIND_FREE => deferred.frees.push(a),
             KIND_WRITE => {
@@ -564,6 +589,9 @@ fn apply_entries(
                 pmem.pwb_range(a + 8, psize as u64);
                 if runtime_commit {
                     deferred.inflight.push(heap.block_of_addr(b));
+                }
+                if let Some(fp) = footprint.as_deref_mut() {
+                    fp.push((a + 8, psize as u64));
                 }
             }
             other => return Err(JnvmError::CorruptLog { kind: other }),
@@ -574,6 +602,9 @@ fn apply_entries(
         // free queue afterwards.
         for a in deferred.frees.drain(..) {
             rt.set_valid_addr(a, false);
+            if let Some(fp) = footprint.as_deref_mut() {
+                fp.push((a, 8));
+            }
         }
     }
     Ok(deferred)
@@ -788,13 +819,29 @@ impl JnvmRuntime {
             pmem.pwb(st.log.chain.phys(LOG_COUNT));
         }
         pmem.pfence(); // ---- the group's durability point ----
+        // The whole group is durably committed behind the one fence.
+        let collect = pmem.sanitizer_active();
+        let mut commit_fp: Vec<(u64, u64)> = Vec::new();
+        if collect {
+            for st in &states {
+                staged_footprint(self, st, &mut commit_fp);
+            }
+        }
+        pmem.ordering_point("fa-commit", &commit_fp);
         // 3. Apply every block (fence-free: a crash replays the logs).
         set_phase(CommitPhase::Apply);
+        let mut retire_fp: Vec<(u64, u64)> = Vec::new();
         let deferred: Vec<DeferredReclaim> = states
             .iter()
             .map(|st| {
-                apply_entries(self, &st.log.chain, st.count, true)
-                    .expect("entries written by this commit are well-formed")
+                apply_entries(
+                    self,
+                    &st.log.chain,
+                    st.count,
+                    true,
+                    if collect { Some(&mut retire_fp) } else { None },
+                )
+                .expect("entries written by this commit are well-formed")
             })
             .collect();
         // 4. Retire all logs behind one fence.
@@ -802,8 +849,14 @@ impl JnvmRuntime {
         for st in &states {
             pmem.write_u64(st.log.chain.phys(LOG_COMMITTED), 0);
             pmem.pwb(st.log.chain.phys(LOG_COMMITTED));
+            if collect {
+                retire_fp.push((st.log.chain.phys(LOG_COMMITTED), 8));
+            }
         }
         pmem.pfence();
+        // Every applied range and cleared flag is durable behind the one
+        // retire fence.
+        pmem.ordering_point("fa-retire", &retire_fp);
         // Only now — no log can replay again — may released blocks re-enter
         // the shared allocator (same rule as the single-block commit).
         for d in deferred {
@@ -879,6 +932,31 @@ fn flush_staged(rt: &Jnvm, state: &TxState) {
     }
 }
 
+/// The durable footprint a staged block's commit point is responsible
+/// for, declared to the persist-ordering sanitizer: in-flight copies,
+/// fresh allocations, the log entries and the committed-flag/count words.
+/// Only built when the sanitizer is on (see [`jnvm_pmem::Pmem::sanitizer_active`]).
+fn staged_footprint(rt: &Jnvm, state: &TxState, fp: &mut Vec<(u64, u64)>) {
+    let heap = rt.heap();
+    for inflight in state.redirects.values() {
+        fp.push((*inflight, 8));
+        fp.push((inflight + 8, heap.payload_size()));
+    }
+    for master in &state.allocated {
+        if rt.pools().is_pooled_addr(*master) {
+            fp.push((*master, 8 + rt.pools().slot_payload(*master)));
+        } else {
+            for b in heap.chain_blocks(heap.block_of_addr(*master)) {
+                fp.push((heap.block_addr(b), heap.block_size()));
+            }
+        }
+    }
+    let c = &state.log.chain;
+    c.segments(LOG_ENTRIES, state.count * ENTRY_BYTES, |addr, len| fp.push((addr, len)));
+    fp.push((c.phys(LOG_COMMITTED), 8));
+    fp.push((c.phys(LOG_COUNT), 8));
+}
+
 fn commit_tx(rt: &Jnvm) {
     let state = TX.with(|tx| tx.borrow_mut().take().expect("commit without transaction"));
     let pmem = rt.pmem();
@@ -904,15 +982,36 @@ fn commit_tx(rt: &Jnvm) {
     pmem.pwb(state.log.chain.phys(LOG_COMMITTED));
     pmem.pwb(state.log.chain.phys(LOG_COUNT));
     pmem.pfence();
+    // The block is durably committed: everything it staged, its log
+    // entries and the committed flag must all be persisted here.
+    let collect = pmem.sanitizer_active();
+    let mut commit_fp: Vec<(u64, u64)> = Vec::new();
+    if collect {
+        staged_footprint(rt, &state, &mut commit_fp);
+    }
+    pmem.ordering_point("fa-commit", &commit_fp);
     // 3. Apply (fence-free: a crash replays the committed log).
     set_phase(CommitPhase::Apply);
-    let deferred = apply_entries(rt, &state.log.chain, state.count, true)
-        .expect("entries written by this commit are well-formed");
+    let mut retire_fp: Vec<(u64, u64)> = Vec::new();
+    let deferred = apply_entries(
+        rt,
+        &state.log.chain,
+        state.count,
+        true,
+        if collect { Some(&mut retire_fp) } else { None },
+    )
+    .expect("entries written by this commit are well-formed");
     // 4. Retire the log before reuse.
     set_phase(CommitPhase::Retire);
     pmem.write_u64(state.log.chain.phys(LOG_COMMITTED), 0);
     pmem.pwb(state.log.chain.phys(LOG_COMMITTED));
     pmem.pfence();
+    // The retire is durable: the applied state and the cleared flag must
+    // be persisted before any released block re-enters the allocator.
+    if collect {
+        retire_fp.push((state.log.chain.phys(LOG_COMMITTED), 8));
+    }
+    pmem.ordering_point("fa-retire", &retire_fp);
     // Only now — the retire is durable, the log can never replay again —
     // may the blocks this commit released re-enter the shared allocator.
     for a in deferred.frees {

@@ -364,6 +364,26 @@ impl Proxy {
         });
     }
 
+    /// Declare a labeled persist-ordering point over the field at logical
+    /// offset `off` (length `len`): execution passing here asserts the
+    /// field's cache lines are persisted (see
+    /// [`jnvm_pmem::Pmem::ordering_point`]). No-op inside a failure-atomic
+    /// block, where the commit protocol owns durability and declares its
+    /// own ordering points.
+    pub fn ordering_point(&self, label: &str, off: u64, len: u64) {
+        if fa::depth() > 0 {
+            return;
+        }
+        let pmem = self.rt.pmem();
+        if pmem.sanitizer_active() {
+            let mut fp: Vec<(u64, u64)> = Vec::new();
+            self.chain.segments(off, len.max(1), |addr, seg| fp.push((addr, seg)));
+            pmem.ordering_point(label, &fp);
+        } else {
+            pmem.ordering_point(label, &[]);
+        }
+    }
+
     /// Whether the object is currently valid (§3.2.3).
     pub fn is_valid(&self) -> bool {
         let heap = self.rt.heap();

@@ -269,7 +269,12 @@ impl MarkShared<'_> {
     /// or visit the target. Each slot is yielded by exactly one parent's
     /// single trace, so this runs exactly once per slot and the nullify
     /// write never races another worker.
-    fn resolve_slot(&self, slot: u64, local: &mut Vec<u64>) -> Result<(), JnvmError> {
+    fn resolve_slot(
+        &self,
+        slot: u64,
+        local: &mut Vec<u64>,
+        nullified: &mut Vec<(u64, u64)>,
+    ) -> Result<(), JnvmError> {
         let pmem = self.rt.pmem();
         let r = pmem.read_u64(slot);
         if r == 0 {
@@ -282,6 +287,9 @@ impl MarkShared<'_> {
             // validated) object is nullified.
             pmem.write_u64(slot, 0);
             pmem.pwb(slot);
+            if pmem.sanitizer_active() {
+                nullified.push((slot, 8));
+            }
             self.nullified_refs.fetch_add(1, Ordering::Relaxed);
             Ok(())
         }
@@ -342,31 +350,35 @@ impl MarkShared<'_> {
         }
         let _guard = AbortOnUnwind(self);
         let start = Instant::now();
-        let finish = |t: Instant| {
+        let finish = |t: Instant, nullified: &mut Vec<(u64, u64)>| {
             // Drain this worker's nullification / recover-hook write-backs
             // (a persistence domain drains only its owner's queue).
             self.rt.pmem().pfence();
+            // The slots this worker nullified are durable behind its own
+            // closing fence.
+            self.rt.pmem().ordering_point("recovery-nullify", nullified);
             t.elapsed()
         };
+        let mut nullified: Vec<(u64, u64)> = Vec::new();
         let mut local: Vec<u64> = Vec::new();
         for root in roots {
             if self.aborted.load(Ordering::Relaxed) {
-                return Ok(finish(start));
+                return Ok(finish(start, &mut nullified));
             }
             if let Err(e) = self.visit(root, &mut local) {
                 self.aborted.store(true, Ordering::Relaxed);
-                let _ = finish(start);
+                let _ = finish(start, &mut nullified);
                 return Err(e);
             }
         }
         loop {
             while let Some(slot) = local.pop() {
                 if self.aborted.load(Ordering::Relaxed) {
-                    return Ok(finish(start));
+                    return Ok(finish(start, &mut nullified));
                 }
-                if let Err(e) = self.resolve_slot(slot, &mut local) {
+                if let Err(e) = self.resolve_slot(slot, &mut local, &mut nullified) {
                     self.aborted.store(true, Ordering::Relaxed);
-                    let _ = finish(start);
+                    let _ = finish(start, &mut nullified);
                     return Err(e);
                 }
             }
@@ -378,7 +390,7 @@ impl MarkShared<'_> {
             self.active.fetch_sub(1, Ordering::SeqCst);
             loop {
                 if self.aborted.load(Ordering::Relaxed) {
-                    return Ok(finish(start));
+                    return Ok(finish(start, &mut nullified));
                 }
                 if !self.overflow.lock().is_empty() {
                     self.active.fetch_add(1, Ordering::SeqCst);
@@ -389,7 +401,7 @@ impl MarkShared<'_> {
                     continue;
                 }
                 if self.active.load(Ordering::SeqCst) == 0 {
-                    return Ok(finish(start));
+                    return Ok(finish(start, &mut nullified));
                 }
                 std::thread::yield_now();
             }

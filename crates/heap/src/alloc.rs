@@ -303,10 +303,21 @@ impl BlockHeap {
         let mut added = Vec::with_capacity(extra as usize);
         for _ in 0..extra {
             let b = self.alloc_block()?;
-            self.write_header(b, BlockHeader::slave(NULL_BLOCK));
+            // The new tail's header must be written back, not just written:
+            // the link publishing it is pwb'ed below, and a crash that
+            // persists the link but not this header leaves `next` pointing
+            // at a block whose media header is stale. For a recycled block
+            // that stale header is the block's *previous* life — e.g. a
+            // slave link into some other chain — and the chain walk wanders
+            // into foreign blocks after recovery.
+            self.write_header_pwb(b, BlockHeader::slave(NULL_BLOCK));
             let mut th = self.read_header(tail);
             th.next = b;
             self.write_header_pwb(tail, th);
+            self.pmem.publish_point(
+                "chain-extend",
+                &[(self.block_addr(b), HEADER_BYTES), (self.block_addr(tail), HEADER_BYTES)],
+            );
             added.push(b);
             tail = b;
         }
@@ -356,6 +367,7 @@ impl BlockHeap {
         self.pmem.write_u64(SB_ROOT_SLOTS + slot * 8, value);
         self.pmem.pwb(SB_ROOT_SLOTS + slot * 8);
         self.pmem.pfence();
+        self.pmem.ordering_point("root-publish", &[(SB_ROOT_SLOTS + slot * 8, 8)]);
     }
 
     // ------------------------------------------------------------------
@@ -587,6 +599,47 @@ mod tests {
         let chain = h.chain_blocks(master);
         assert_eq!(chain.len(), 3);
         assert_eq!(&chain[1..], &added[..]);
+    }
+
+    #[test]
+    fn extend_chain_onto_recycled_block_survives_crash() {
+        // Regression: extend_chain published the tail link with a pwb but
+        // wrote the new tail's own header *without* one. For a fresh bump
+        // block the lost header happens to equal slave(NULL) = 0 on media,
+        // but a recycled block still carries its previous life's header —
+        // here a slave link into the freed object's chain — and a crash
+        // after the caller's batching fence left the extended chain
+        // wandering into foreign blocks.
+        let pmem = Pmem::new(PmemConfig::crash_sim(1 << 20));
+        let h = BlockHeap::format(Arc::clone(&pmem), HeapConfig::default()).unwrap();
+        // A 3-block object whose slave links are durable on media.
+        let victim = h.alloc_chain(7, 248 * 2 + 10).unwrap();
+        for b in h.chain_blocks(victim) {
+            let hd = h.read_header(b);
+            h.write_header_pwb(b, hd);
+        }
+        pmem.pfence();
+        // Free it: its blocks enter the free queue with their stale slave
+        // links still on media (free_object touches only the master header).
+        h.free_object(victim);
+        pmem.pfence();
+        // Reuse: a fresh single-block object out of the free queue...
+        let master = h.alloc_chain(9, 10).unwrap();
+        h.write_header_pwb(master, h.read_header(master));
+        pmem.pfence();
+        // ...extended by one recycled block, then the caller's batching
+        // fence, then power failure.
+        let added = h.extend_chain(master, 1).unwrap();
+        pmem.pfence();
+        pmem.crash(&CrashPolicy::strict()).unwrap();
+        let h2 = BlockHeap::open(pmem).unwrap();
+        let chain = h2.chain_blocks(master);
+        assert_eq!(
+            chain,
+            vec![master, added[0]],
+            "chain walk wandered into the recycled block's previous life"
+        );
+        assert_eq!(h2.read_header(added[0]).next, NULL_BLOCK);
     }
 
     #[test]

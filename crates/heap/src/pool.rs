@@ -113,6 +113,7 @@ impl PoolManager {
         // block is validated; pwb now, the allocating thread's next pfence
         // (always executed before an object becomes reachable) orders it.
         pmem.pwb(base);
+        pmem.publish_point("pool-carve", &[(base, 16)]);
         let first = base + 16;
         for i in 1..nslots {
             // Remaining slots join the free queue with a cleared mini-header.

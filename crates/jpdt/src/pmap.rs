@@ -432,6 +432,7 @@ impl<K: PKey, M: Mirror<K>> PMapCore<K, M> {
             e.write_ref(MapEntry::<K>::VALUE_OFF, Some(value));
             e.pwb_field(MapEntry::<K>::VALUE_OFF, 8);
             self.rt.pfence();
+            e.ordering_point("pmap-publish", MapEntry::<K>::VALUE_OFF, 8);
             if self.mode != CacheMode::Base {
                 inner.cache.insert(cell, PValue::open(&self.rt, value));
             }
@@ -456,6 +457,7 @@ impl<K: PKey, M: Mirror<K>> PMapCore<K, M> {
         inner.array.set_ref(cell, Some(e.addr()));
         inner.array.pwb_cell(cell);
         self.rt.pfence();
+        inner.array.proxy().ordering_point("pmap-publish", 8 + cell * 8, 8);
         if self.mode != CacheMode::Base {
             inner.cache.insert(cell, PValue::open(&self.rt, value));
         }

@@ -96,6 +96,7 @@ impl PQueue {
         self.proxy.write_u64(OFF_TAIL, tail + 1); // the publish
         self.proxy.pwb_field(OFF_TAIL, 8);
         rt.pfence();
+        self.proxy.ordering_point("pqueue-publish", OFF_TAIL, 8);
         Ok(())
     }
 
@@ -114,6 +115,7 @@ impl PQueue {
         self.proxy.write_u64(OFF_HEAD, head + 1); // the publish
         self.proxy.pwb_field(OFF_HEAD, 8);
         rt.pfence();
+        self.proxy.ordering_point("pqueue-consume", OFF_HEAD, 8);
         // Unreachable garbage must not be kept alive by the stale cell.
         ring.set_ref(cell, None);
         ring.pwb_cell(cell);

@@ -110,6 +110,7 @@ impl PRefVec {
         self.proxy.write_u64(OFF_LEN, len + 1);
         self.proxy.pwb_field(OFF_LEN, 8);
         rt.pfence();
+        self.proxy.ordering_point("pvec-publish", OFF_LEN, 8);
         Ok(())
     }
 

@@ -98,6 +98,10 @@ pub fn commit_writes(grid: &DataGrid, be: &JnvmBackend, ops: &[WriteOp]) -> Batc
             };
         }
         be.sync();
+        // The batch's ack point: the structures flushed their own lines,
+        // so there is no footprint left to check here — the label still
+        // marks where acknowledgements become legal.
+        be.runtime().pmem().ordering_point("kv-batch-ack", &[]);
         return BatchOutcome { results, groups: 1 };
     }
 
@@ -145,7 +149,10 @@ pub fn commit_writes(grid: &DataGrid, be: &JnvmBackend, ops: &[WriteOp]) -> Batc
         }
 
         // The group's durability point: 3 fences for `committed` ops.
+        // `fa_commit_group` declares the log/object footprints itself
+        // ("fa-commit"/"fa-retire"); this label only marks the ack point.
         rt.fa_commit_group(staged);
+        rt.pmem().ordering_point("kv-batch-ack", &[]);
         groups += 1;
         grid.metrics().writes.fetch_add(committed, Ordering::Relaxed);
         for &idx in &remaining {

@@ -90,6 +90,7 @@ impl PRecord {
         self.proxy.write_ref(8 + i * 8, Some(blob.addr()));
         self.proxy.pwb_field(8 + i * 8, 8);
         rt.pfence();
+        self.proxy.ordering_point("record-field-publish", 8 + i * 8, 8);
         if let Some(old_addr) = old {
             rt.free_addr(old_addr);
         }

@@ -309,6 +309,91 @@ mod tests {
         assert!(c.len() <= c.capacity());
     }
 
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum LruOp {
+            Insert(u8, u32),
+            Get(u8),
+            Remove(u8),
+        }
+
+        fn lru_ops() -> impl Strategy<Value = Vec<LruOp>> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (any::<u8>(), any::<u32>()).prop_map(|(k, v)| LruOp::Insert(k % 24, v)),
+                    any::<u8>().prop_map(|k| LruOp::Get(k % 24)),
+                    any::<u8>().prop_map(|k| LruOp::Remove(k % 24)),
+                ],
+                1..200,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `insert` agrees with a recency-ordered model: same hit/miss
+            /// answers, same length, and on overflow it evicts exactly the
+            /// least-recently-used entry (returned as `(key, value)`).
+            #[test]
+            fn insert_matches_model(capacity in 1usize..12, ops in lru_ops()) {
+                let mut c = LruCache::new(capacity);
+                // Model: vec ordered most- to least-recently used.
+                let mut model: Vec<(u8, u32)> = Vec::new();
+                for op in ops {
+                    match op {
+                        LruOp::Insert(k, v) => {
+                            let evicted = c.insert(k, v);
+                            if model.iter().any(|(mk, _)| *mk == k) {
+                                model.retain(|(mk, _)| *mk != k);
+                                model.insert(0, (k, v));
+                                prop_assert_eq!(evicted, None, "replace must not evict");
+                            } else if model.len() >= capacity {
+                                let lru = model.pop().unwrap();
+                                model.insert(0, (k, v));
+                                prop_assert_eq!(evicted, Some(lru), "wrong victim");
+                            } else {
+                                model.insert(0, (k, v));
+                                prop_assert_eq!(evicted, None, "evicted below capacity");
+                            }
+                        }
+                        LruOp::Get(k) => {
+                            let got = c.get(&k).copied();
+                            let want = model.iter().find(|(mk, _)| *mk == k).map(|(_, v)| *v);
+                            prop_assert_eq!(got, want);
+                            if let Some(v) = want {
+                                model.retain(|(mk, _)| *mk != k);
+                                model.insert(0, (k, v));
+                            }
+                        }
+                        LruOp::Remove(k) => {
+                            let want = model.iter().any(|(mk, _)| *mk == k);
+                            prop_assert_eq!(c.remove(&k), want);
+                            model.retain(|(mk, _)| *mk != k);
+                        }
+                    }
+                    prop_assert_eq!(c.len(), model.len());
+                    prop_assert!(c.len() <= capacity);
+                }
+                // Fill to capacity with fresh keys (all ops used keys < 24),
+                // then keep inserting: survivors must leave in exact LRU
+                // order, oldest first.
+                let mut fresh = 100u8;
+                while model.len() < capacity {
+                    prop_assert_eq!(c.insert(fresh, 0), None);
+                    model.insert(0, (fresh, 0));
+                    fresh += 1;
+                }
+                while let Some(lru) = model.pop() {
+                    prop_assert_eq!(c.insert(fresh, 0), Some(lru), "wrong drain victim");
+                    fresh += 1;
+                }
+            }
+        }
+    }
+
     #[test]
     fn stress_against_reference_model() {
         use rand::rngs::SmallRng;

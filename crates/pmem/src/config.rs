@@ -1,4 +1,7 @@
-//! Device configuration: size, simulation mode, latency profile, crash policy.
+//! Device configuration: size, simulation mode, latency profile, crash
+//! policy, persist-ordering sanitizer mode.
+
+use crate::sanitize::SanitizeMode;
 
 /// How faithfully the device models persistence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +115,11 @@ pub struct PmemConfig {
     pub mode: SimMode,
     /// Injected latency per operation.
     pub latency: LatencyProfile,
+    /// Persist-ordering sanitizer mode (see `sanitize.rs`). The
+    /// constructors default it from the `JNVM_SANITIZE` environment
+    /// variable, so `JNVM_SANITIZE=strict cargo test` audits every pool
+    /// a test creates.
+    pub sanitize: SanitizeMode,
 }
 
 impl PmemConfig {
@@ -122,6 +130,7 @@ impl PmemConfig {
             size,
             mode: SimMode::CrashSim,
             latency: LatencyProfile::off(),
+            sanitize: SanitizeMode::from_env(),
         }
     }
 
@@ -131,6 +140,7 @@ impl PmemConfig {
             size,
             mode: SimMode::Performance,
             latency: LatencyProfile::off(),
+            sanitize: SanitizeMode::from_env(),
         }
     }
 
@@ -140,7 +150,14 @@ impl PmemConfig {
             size,
             mode: SimMode::Performance,
             latency: LatencyProfile::optane_like(),
+            sanitize: SanitizeMode::from_env(),
         }
+    }
+
+    /// Replace the sanitizer mode (overriding the `JNVM_SANITIZE` default).
+    pub fn with_sanitize(mut self, mode: SanitizeMode) -> Self {
+        self.sanitize = mode;
+        self
     }
 }
 

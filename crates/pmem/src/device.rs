@@ -14,6 +14,7 @@ use crate::config::{CrashPolicy, LatencyProfile, PmemConfig, SimMode};
 use crate::error::PmemError;
 use crate::inject::{FaultOp, Injector};
 use crate::latency::spin_ns;
+use crate::sanitize::{SanViolation, SanitizeMode, Sanitizer};
 use crate::stats::{PmemStats, StatsSnapshot};
 
 /// Size of a simulated CPU cache line in bytes.
@@ -76,6 +77,9 @@ pub struct Pmem {
     latency_on: bool,
     stats: PmemStats,
     injector: Injector,
+    /// Persist-ordering sanitizer; `None` in `Off` mode, so the hot path
+    /// pays one never-taken branch per store.
+    san: Option<Sanitizer>,
 }
 
 fn zeroed_words(n: usize) -> Box<[AtomicU64]> {
@@ -104,6 +108,10 @@ impl Pmem {
                 })
             }
         };
+        let san = match cfg.sanitize {
+            SanitizeMode::Off => None,
+            mode => Some(Sanitizer::new(mode, size)),
+        };
         Arc::new(Pmem {
             size,
             words: zeroed_words(nwords),
@@ -112,6 +120,7 @@ impl Pmem {
             latency: cfg.latency,
             stats: PmemStats::default(),
             injector: Injector::default(),
+            san,
         })
     }
 
@@ -189,13 +198,17 @@ impl Pmem {
         }
     }
 
-    /// Mark every line overlapping `[addr, addr+len)` dirty (CrashSim only).
+    /// Mark every line overlapping `[addr, addr+len)` dirty (CrashSim
+    /// line state and, when enabled, the sanitizer's state machine).
     #[inline]
     fn mark_dirty(&self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if let Some(san) = &self.san {
+            san.note_write(addr, len);
+        }
         if let Some(sim) = &self.sim {
-            if len == 0 {
-                return;
-            }
             let first = addr / CACHE_LINE;
             let last = (addr + len - 1) / CACHE_LINE;
             for line in first..=last {
@@ -534,6 +547,9 @@ impl Pmem {
         if self.latency_on {
             spin_ns(self.latency.pwb_ns);
         }
+        if let Some(san) = &self.san {
+            san.note_pwb(addr, &self.stats);
+        }
         if let Some(sim) = &self.sim {
             let line = addr / CACHE_LINE;
             let st = &sim.line_state[line as usize];
@@ -608,6 +624,9 @@ impl Pmem {
         if self.latency_on {
             spin_ns(self.latency.pfence_ns);
         }
+        if let Some(san) = &self.san {
+            san.note_fence(&self.stats);
+        }
         if let Some(sim) = &self.sim {
             self.drain_wpq(sim);
         }
@@ -624,9 +643,83 @@ impl Pmem {
         if self.latency_on {
             spin_ns(self.latency.psync_ns);
         }
+        if let Some(san) = &self.san {
+            san.note_fence(&self.stats);
+        }
         if let Some(sim) = &self.sim {
             self.drain_wpq(sim);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Persist-ordering sanitizer (see `sanitize.rs`).
+    // ------------------------------------------------------------------
+
+    /// The pool's sanitizer mode.
+    pub fn sanitize_mode(&self) -> SanitizeMode {
+        self.san.as_ref().map_or(SanitizeMode::Off, |s| s.mode())
+    }
+
+    /// True when line tracking is on (`Log` or `Strict`). Callers with
+    /// expensive footprints should gate their construction on this.
+    pub fn sanitizer_active(&self) -> bool {
+        self.san.is_some()
+    }
+
+    /// Declare a labeled **ordering point**: execution passing here
+    /// asserts that every cache line overlapping the declared footprint
+    /// is fully persisted — written back *and* fenced on the thread that
+    /// flushed it. Emitted by `jnvm-core` at FA commit and retire, by the
+    /// allocator at root publishes, and by recovery after each replay
+    /// worker's closing fence.
+    ///
+    /// Always counts into [`StatsSnapshot::ordering_points`], even in
+    /// `Off` mode (the labeled count replaced the bare `pfence + psync`
+    /// counter as the acked-durability denominator). With the sanitizer
+    /// on, a dirty footprint line is a missing `pwb`, a write-backed line
+    /// flushed by the calling thread is a missing fence, and one flushed
+    /// by another thread is a cross-thread domain violation — counted in
+    /// `Log` mode, fatal in `Strict`.
+    ///
+    /// No-op while the device is frozen by an injected crash: the ops a
+    /// crash-point sweep skipped would otherwise read as violations.
+    pub fn ordering_point(&self, label: &str, footprint: &[(u64, u64)]) {
+        if self.faults_frozen() {
+            return;
+        }
+        self.stats.ordering_points.add(1);
+        if let Some(san) = &self.san {
+            for &(addr, len) in footprint {
+                self.check(addr, len);
+            }
+            san.check_footprint(label, footprint, false, &self.stats);
+        }
+    }
+
+    /// Declare a labeled **publish point**: a durable pointer is about to
+    /// be (or was just) written whose targets must at least be written
+    /// back. Unlike [`Pmem::ordering_point`] this accepts lines the
+    /// *calling* thread has write-backed but not yet fenced — the
+    /// publishing thread's own later fence covers pointer and target
+    /// together — but still flags dirty lines (a pointer to a
+    /// never-flushed header) and lines pending in another thread's
+    /// domain. Does not count as an ordering point.
+    pub fn publish_point(&self, label: &str, footprint: &[(u64, u64)]) {
+        if self.faults_frozen() {
+            return;
+        }
+        if let Some(san) = &self.san {
+            for &(addr, len) in footprint {
+                self.check(addr, len);
+            }
+            san.check_footprint(label, footprint, true, &self.stats);
+        }
+    }
+
+    /// Violations recorded by the `Log`-mode sanitizer (empty in `Off`;
+    /// `Strict` panics at the first violation instead of recording).
+    pub fn san_violations(&self) -> Vec<SanViolation> {
+        self.san.as_ref().map_or_else(Vec::new, |s| s.violations())
     }
 
     // ------------------------------------------------------------------
@@ -672,6 +765,9 @@ impl Pmem {
             self.words[w].store(sim.media[w].load(Ordering::Acquire), Ordering::Release);
         }
         sim.clear_domains();
+        if let Some(san) = &self.san {
+            san.reset();
+        }
         Ok(())
     }
 
@@ -688,6 +784,9 @@ impl Pmem {
                 }
             }
             sim.clear_domains();
+        }
+        if let Some(san) = &self.san {
+            san.reset();
         }
     }
 
@@ -711,6 +810,9 @@ impl Pmem {
                 self.words[w].store(sim.media[w].load(Ordering::Acquire), Ordering::Release);
             }
             sim.clear_domains();
+        }
+        if let Some(san) = &self.san {
+            san.reset();
         }
     }
 

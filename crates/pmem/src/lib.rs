@@ -40,6 +40,7 @@ mod proptests;
 mod error;
 mod image;
 mod latency;
+mod sanitize;
 mod stats;
 
 pub use config::{CrashPolicy, FaultMode, FaultPlan, LatencyProfile, PmemConfig, SimMode};
@@ -47,4 +48,5 @@ pub use device::{Pmem, CACHE_LINE};
 pub use error::PmemError;
 pub use inject::{catch_crash, silence_crash_panics, CrashInjected, FaultOp, TraceRecord};
 pub use latency::{spin_ns, thread_charged_ns};
+pub use sanitize::{SanViolation, SanViolationKind, SanitizeMode};
 pub use stats::{PmemStats, StatsSnapshot};

@@ -1,0 +1,612 @@
+//! Persist-ordering sanitizer: a per-cache-line state machine layered
+//! under the device's `pwb`/`pfence`/`psync` paths that audits the
+//! flush-then-fence discipline *constructively* on every run, where the
+//! crash-point sweeps check it destructively one interleaving at a time.
+//!
+//! Every line moves through `clean → dirty → write-backed → clean`
+//! (a fence on the write-backing thread is what makes a write-backed line
+//! clean again — per-thread persistence domains, exactly as `device.rs`
+//! models them). Annotated code declares *ordering points*: labeled
+//! program points whose declared footprint must be fully persisted when
+//! execution passes them (FA commit, log retire, allocator publish,
+//! recovery apply). The sanitizer flags:
+//!
+//! * **missing pwb** — a footprint line still dirty at an ordering point,
+//! * **missing fence** — a footprint line write-backed by the *calling*
+//!   thread but not yet fenced,
+//! * **cross-thread fence** — a footprint line write-backed by *another*
+//!   thread, whose fence the calling thread has no control over (the
+//!   per-thread-domain rule, previously enforced only by torture),
+//! * **redundant flushes** — a `pwb` of an already-clean line and
+//!   back-to-back fences with no intervening `pwb`, reported through
+//!   [`crate::StatsSnapshot`] rather than flagged as violations.
+//!
+//! Modes: `Off` (no state, no cost), `Log` (count and record violations),
+//! `Strict` (panic at the first violation — CI runs tier-1 this way).
+//! Selected per-pool via [`crate::PmemConfig::sanitize`], whose default
+//! comes from the `JNVM_SANITIZE` environment variable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+use parking_lot::Mutex;
+
+use crate::stats::PmemStats;
+use crate::CACHE_LINE;
+
+/// Sanitizer mode, per pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizeMode {
+    /// No line tracking, no checks, no allocation. The default.
+    #[default]
+    Off,
+    /// Track lines, count violations into the stats and record them for
+    /// [`crate::Pmem::san_violations`]; never panic.
+    Log,
+    /// Panic with a diagnostic at the first violation. Redundant flushes
+    /// are still only counted.
+    Strict,
+}
+
+impl SanitizeMode {
+    /// Read the mode from the `JNVM_SANITIZE` environment variable:
+    /// unset/empty/`off`/`0` → `Off`, `log` → `Log`, `strict` → `Strict`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value — a typo must not silently disable the
+    /// checker a CI leg believes it turned on.
+    pub fn from_env() -> SanitizeMode {
+        match std::env::var("JNVM_SANITIZE") {
+            Err(_) => SanitizeMode::Off,
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "" | "off" | "0" => SanitizeMode::Off,
+                "log" => SanitizeMode::Log,
+                "strict" => SanitizeMode::Strict,
+                other => panic!(
+                    "JNVM_SANITIZE={other:?}: expected \"off\", \"log\" or \"strict\""
+                ),
+            },
+        }
+    }
+}
+
+/// What an ordering/publish point found wrong with a footprint line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanViolationKind {
+    /// The line was dirty: never `pwb`ed since its last write.
+    MissingPwb,
+    /// The line was write-backed by the calling thread but not fenced.
+    MissingFence,
+    /// The line was write-backed by another thread, whose fence the
+    /// calling thread cannot issue (per-thread persistence domains).
+    CrossThreadFence,
+}
+
+impl SanViolationKind {
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SanViolationKind::MissingPwb => "missing-pwb",
+            SanViolationKind::MissingFence => "missing-fence",
+            SanViolationKind::CrossThreadFence => "cross-thread-fence",
+        }
+    }
+}
+
+/// One recorded violation (`Log` mode keeps up to [`MAX_RECORDED`]).
+#[derive(Debug, Clone)]
+pub struct SanViolation {
+    /// What rule the line broke.
+    pub kind: SanViolationKind,
+    /// The ordering/publish point's label.
+    pub label: String,
+    /// Byte address of the offending cache line.
+    pub line_addr: u64,
+    /// Compact id of the thread that last dirtied / write-backed the
+    /// line (assigned per thread at first device access).
+    pub owner: u32,
+    /// Compact id of the thread that hit the ordering point.
+    pub observer: u32,
+}
+
+impl std::fmt::Display for SanViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at ordering point {:?}: line {:#x} (owner thread #{}, observed by #{})",
+            self.kind.name(),
+            self.label,
+            self.line_addr,
+            self.owner,
+            self.observer
+        )
+    }
+}
+
+/// Cap on recorded violations — a broken loop must not balloon memory.
+const MAX_RECORDED: usize = 4096;
+
+/// Per-line packed state: bits 0-1 the state, bits 2+ the owner thread.
+const ST_CLEAN: u64 = 0;
+const ST_DIRTY: u64 = 1;
+const ST_WB: u64 = 2;
+
+#[inline]
+fn pack(state: u64, owner: u32) -> u64 {
+    state | ((owner as u64) << 2)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u64, u32) {
+    (word & 0b11, (word >> 2) as u32)
+}
+
+/// Process-wide compact thread id (the sanitizer's "persistence domain"
+/// label; `ThreadId` itself is not packable into line words).
+fn san_thread_id() -> u32 {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    thread_local! {
+        static ID: u32 = NEXT.fetch_add(1, Ordering::Relaxed) as u32;
+    }
+    ID.with(|i| *i)
+}
+
+/// Per-thread sanitizer state, mirroring the device's per-thread
+/// write-pending queues.
+#[derive(Default)]
+struct ThreadSan {
+    /// Lines this thread write-backed since its last fence.
+    wb: Mutex<Vec<u64>>,
+    /// `pwb`s issued since this thread's last fence (0 at a fence means
+    /// the fence ordered nothing new: back-to-back fences).
+    pwbs_since_fence: AtomicU64,
+    /// Whether this thread has fenced at least once (the first fence is
+    /// never "back-to-back").
+    fenced_once: AtomicBool,
+}
+
+/// The per-pool sanitizer. Allocated only when the mode is not `Off`.
+pub(crate) struct Sanitizer {
+    mode: SanitizeMode,
+    /// One packed word per cache line of the pool.
+    lines: Box<[AtomicU64]>,
+    /// Per-thread write-back queues.
+    threads: Mutex<HashMap<ThreadId, Arc<ThreadSan>>>,
+    /// Violations recorded in `Log` mode.
+    violations: Mutex<Vec<SanViolation>>,
+}
+
+impl Sanitizer {
+    pub(crate) fn new(mode: SanitizeMode, pool_size: u64) -> Sanitizer {
+        debug_assert_ne!(mode, SanitizeMode::Off);
+        let nlines = (pool_size / CACHE_LINE) as usize;
+        let mut lines = Vec::with_capacity(nlines);
+        lines.resize_with(nlines, AtomicU64::default);
+        Sanitizer {
+            mode,
+            lines: lines.into_boxed_slice(),
+            threads: Mutex::new(HashMap::new()),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn mode(&self) -> SanitizeMode {
+        self.mode
+    }
+
+    fn my_state(&self) -> Arc<ThreadSan> {
+        let mut map = self.threads.lock();
+        Arc::clone(map.entry(std::thread::current().id()).or_default())
+    }
+
+    /// A store touched `[addr, addr + len)`: every overlapping line is
+    /// dirty and owned by the writing thread.
+    pub(crate) fn note_write(&self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let me = san_thread_id();
+        let first = addr / CACHE_LINE;
+        let last = (addr + len - 1) / CACHE_LINE;
+        for line in first..=last {
+            self.lines[line as usize].store(pack(ST_DIRTY, me), Ordering::Release);
+        }
+    }
+
+    /// A `pwb` of the line containing `addr`.
+    pub(crate) fn note_pwb(&self, addr: u64, stats: &PmemStats) {
+        let me = san_thread_id();
+        let line = addr / CACHE_LINE;
+        let slot = &self.lines[line as usize];
+        let (state, _) = unpack(slot.load(Ordering::Acquire));
+        if state == ST_CLEAN {
+            // Flushing a clean line is legal but wasted work — exactly the
+            // redundancy NVTraverse reports as endemic.
+            stats.redundant_pwbs.add(1);
+        } else {
+            // Dirty or already write-backed: the line now sits in this
+            // thread's domain (re-flushing a pending line adopts it, like
+            // `clwb`), and this thread's next fence settles it.
+            slot.store(pack(ST_WB, me), Ordering::Release);
+            self.my_state().wb.lock().push(line);
+        }
+        self.my_state().pwbs_since_fence.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `pfence`/`psync` by the calling thread: its write-backed lines
+    /// become clean (lines rewritten after their `pwb` stay dirty).
+    pub(crate) fn note_fence(&self, stats: &PmemStats) {
+        let st = self.my_state();
+        if st.pwbs_since_fence.swap(0, Ordering::Relaxed) == 0
+            && st.fenced_once.swap(true, Ordering::Relaxed)
+        {
+            stats.redundant_fences.add(1);
+        } else {
+            st.fenced_once.store(true, Ordering::Relaxed);
+        }
+        let mut wb = st.wb.lock();
+        for line in wb.drain(..) {
+            let slot = &self.lines[line as usize];
+            let word = slot.load(Ordering::Acquire);
+            if unpack(word).0 == ST_WB {
+                let _ = slot.compare_exchange(
+                    word,
+                    pack(ST_CLEAN, 0),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+        }
+    }
+
+    /// Crash / orderly drain / cache resync: every line is clean and no
+    /// thread has outstanding obligations.
+    pub(crate) fn reset(&self) {
+        for slot in self.lines.iter() {
+            slot.store(pack(ST_CLEAN, 0), Ordering::Release);
+        }
+        for st in self.threads.lock().values() {
+            st.wb.lock().clear();
+            st.pwbs_since_fence.store(0, Ordering::Relaxed);
+            st.fenced_once.store(false, Ordering::Relaxed);
+        }
+    }
+
+    fn flag(&self, kind: SanViolationKind, label: &str, line: u64, owner: u32, stats: &PmemStats) {
+        stats.san_violations.add(1);
+        let v = SanViolation {
+            kind,
+            label: label.to_string(),
+            line_addr: line * CACHE_LINE,
+            owner,
+            observer: san_thread_id(),
+        };
+        match self.mode {
+            SanitizeMode::Strict => panic!("persist-ordering violation: {v}"),
+            _ => {
+                let mut log = self.violations.lock();
+                if log.len() < MAX_RECORDED {
+                    log.push(v);
+                }
+            }
+        }
+    }
+
+    /// Check one footprint line at an ordering point (`publish` relaxes
+    /// the rule: a line this thread already write-backed is acceptable,
+    /// because the publishing thread's own later fence covers it).
+    fn check_line(&self, label: &str, line: u64, publish: bool, stats: &PmemStats) {
+        let me = san_thread_id();
+        let (state, owner) = unpack(self.lines[line as usize].load(Ordering::Acquire));
+        match state {
+            ST_DIRTY => self.flag(SanViolationKind::MissingPwb, label, line, owner, stats),
+            ST_WB if owner != me => {
+                self.flag(SanViolationKind::CrossThreadFence, label, line, owner, stats)
+            }
+            ST_WB if !publish => {
+                self.flag(SanViolationKind::MissingFence, label, line, owner, stats)
+            }
+            _ => {}
+        }
+    }
+
+    /// Validate a declared footprint at an ordering or publish point.
+    pub(crate) fn check_footprint(
+        &self,
+        label: &str,
+        footprint: &[(u64, u64)],
+        publish: bool,
+        stats: &PmemStats,
+    ) {
+        for &(addr, len) in footprint {
+            if len == 0 {
+                continue;
+            }
+            let first = addr / CACHE_LINE;
+            let last = (addr + len - 1) / CACHE_LINE;
+            for line in first..=last {
+                self.check_line(label, line, publish, stats);
+            }
+        }
+    }
+
+    /// Violations recorded so far (`Log` mode).
+    pub(crate) fn violations(&self) -> Vec<SanViolation> {
+        self.violations.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CrashPolicy, PmemConfig};
+    use crate::device::Pmem;
+    use std::sync::Arc;
+
+    fn pool(mode: SanitizeMode) -> Arc<Pmem> {
+        Pmem::new(PmemConfig::crash_sim(4096).with_sanitize(mode))
+    }
+
+    // ------------------------------------------------------------------
+    // Cache-line boundary handling of pwb_range / zero_range. A range
+    // ending exactly on a line boundary must not enqueue (or count) a
+    // spurious extra line.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pwb_range_on_exact_line_boundary_flushes_one_line() {
+        let p = pool(SanitizeMode::Off);
+        p.write_u64(0, 1);
+        p.reset_stats();
+        p.pwb_range(0, CACHE_LINE); // [0, 64): exactly line 0
+        assert_eq!(p.stats().pwbs, 1);
+        p.reset_stats();
+        p.pwb_range(0, CACHE_LINE + 1); // [0, 65): lines 0 and 1
+        assert_eq!(p.stats().pwbs, 2);
+        p.reset_stats();
+        p.pwb_range(CACHE_LINE - 1, 2); // [63, 65): straddles the boundary
+        assert_eq!(p.stats().pwbs, 2);
+        p.reset_stats();
+        p.pwb_range(CACHE_LINE, CACHE_LINE); // [64, 128): exactly line 1
+        assert_eq!(p.stats().pwbs, 1);
+        p.reset_stats();
+        p.pwb_range(10, 0); // empty range: nothing
+        assert_eq!(p.stats().pwbs, 0);
+    }
+
+    #[test]
+    fn zero_range_dirties_exactly_the_covered_lines() {
+        let p = pool(SanitizeMode::Log);
+        // Make lines 0..=2 durably clean.
+        for line in 0..3u64 {
+            p.write_u64(line * CACHE_LINE, 7);
+            p.pwb(line * CACHE_LINE);
+        }
+        p.pfence();
+        assert_eq!(p.stats().san_violations, 0);
+        // Zero exactly line 1; its neighbours must stay clean.
+        p.zero_range(CACHE_LINE, CACHE_LINE);
+        p.ordering_point("line0", &[(0, CACHE_LINE)]);
+        p.ordering_point("line2", &[(2 * CACHE_LINE, CACHE_LINE)]);
+        assert_eq!(p.stats().san_violations, 0, "zero_range leaked into a neighbour line");
+        p.ordering_point("line1", &[(CACHE_LINE, CACHE_LINE)]);
+        let v = p.san_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, SanViolationKind::MissingPwb);
+        assert_eq!(v[0].line_addr, CACHE_LINE);
+    }
+
+    // ------------------------------------------------------------------
+    // Deliberately broken persist sequences: caught in Strict, counted
+    // in Log, free in Off.
+    // ------------------------------------------------------------------
+
+    #[test]
+    #[should_panic(expected = "persist-ordering violation")]
+    fn strict_catches_missing_pwb() {
+        let p = pool(SanitizeMode::Strict);
+        p.write_u64(0, 1); // dirty, never written back
+        p.ordering_point("commit", &[(0, 8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing-fence")]
+    fn strict_catches_missing_fence() {
+        let p = pool(SanitizeMode::Strict);
+        p.write_u64(0, 1);
+        p.pwb(0); // written back, never fenced
+        p.ordering_point("commit", &[(0, 8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-thread-fence")]
+    fn strict_catches_wrong_thread_fence() {
+        let p = pool(SanitizeMode::Strict);
+        let pa = Arc::clone(&p);
+        std::thread::spawn(move || {
+            pa.write_u64(0, 1);
+            pa.pwb(0); // pending in A's domain
+        })
+        .join()
+        .unwrap();
+        p.pfence(); // drains only *this* thread's (empty) domain
+        p.ordering_point("commit", &[(0, 8)]);
+    }
+
+    #[test]
+    fn strict_passes_a_correct_sequence() {
+        let p = pool(SanitizeMode::Strict);
+        p.write_u64(0, 1);
+        p.pwb(0);
+        p.pfence();
+        p.ordering_point("commit", &[(0, 8)]);
+        assert_eq!(p.stats().san_violations, 0);
+        assert_eq!(p.stats().ordering_points, 1);
+    }
+
+    #[test]
+    fn log_counts_violations_without_panicking() {
+        let p = pool(SanitizeMode::Log);
+        p.write_u64(0, 1); // dirty
+        p.write_u64(CACHE_LINE, 2);
+        p.pwb(CACHE_LINE); // write-backed, unfenced
+        p.ordering_point("commit", &[(0, 8), (CACHE_LINE, 8)]);
+        let s = p.stats();
+        assert_eq!(s.san_violations, 2);
+        assert_eq!(s.ordering_points, 1);
+        let v = p.san_violations();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].kind, SanViolationKind::MissingPwb);
+        assert_eq!(v[1].kind, SanViolationKind::MissingFence);
+        assert!(v.iter().all(|v| v.label == "commit"));
+    }
+
+    #[test]
+    fn off_mode_tracks_nothing_but_still_counts_ordering_points() {
+        let p = pool(SanitizeMode::Off);
+        assert!(!p.sanitizer_active());
+        assert_eq!(p.sanitize_mode(), SanitizeMode::Off);
+        p.write_u64(0, 1); // broken on purpose
+        p.ordering_point("commit", &[(0, 8)]);
+        let s = p.stats();
+        assert_eq!(s.san_violations, 0);
+        assert_eq!(s.redundant_pwbs, 0);
+        assert_eq!(s.ordering_points, 1);
+        assert!(p.san_violations().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Publish points, redundancy accounting, state resets.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn publish_point_accepts_own_writeback_but_not_dirty() {
+        let p = pool(SanitizeMode::Log);
+        p.write_u64(0, 1);
+        p.pwb(0);
+        p.publish_point("chain-extend", &[(0, 8)]); // own WB: fine
+        assert_eq!(p.stats().san_violations, 0);
+        p.write_u64(CACHE_LINE, 2);
+        p.publish_point("chain-extend", &[(CACHE_LINE, 8)]); // dirty: flagged
+        let v = p.san_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, SanViolationKind::MissingPwb);
+        // Publish points are not ordering points.
+        assert_eq!(p.stats().ordering_points, 0);
+    }
+
+    #[test]
+    fn publish_point_rejects_foreign_writeback() {
+        let p = pool(SanitizeMode::Log);
+        let pa = Arc::clone(&p);
+        std::thread::spawn(move || {
+            pa.write_u64(0, 1);
+            pa.pwb(0);
+        })
+        .join()
+        .unwrap();
+        p.publish_point("chain-extend", &[(0, 8)]);
+        let v = p.san_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, SanViolationKind::CrossThreadFence);
+    }
+
+    #[test]
+    fn redundant_flushes_are_counted_not_flagged() {
+        let p = pool(SanitizeMode::Log);
+        p.write_u64(0, 1);
+        p.pwb(0);
+        p.pfence(); // line 0 clean
+        p.pwb(0); // wasted: line already clean
+        let s = p.stats();
+        assert_eq!(s.redundant_pwbs, 1);
+        assert_eq!(s.san_violations, 0);
+        p.pfence(); // ordered the redundant pwb: not itself redundant
+        p.pfence(); // nothing new since the last fence: redundant
+        let s = p.stats();
+        assert_eq!(s.redundant_fences, 1);
+        assert_eq!(s.san_violations, 0);
+    }
+
+    #[test]
+    fn re_flushing_a_pending_line_is_not_redundant() {
+        // pwb of a line another thread left pending adopts it (clwb
+        // semantics) — that flush does real work and must not count as
+        // redundant.
+        let p = pool(SanitizeMode::Log);
+        let pa = Arc::clone(&p);
+        std::thread::spawn(move || {
+            pa.write_u64(0, 1);
+            pa.pwb(0);
+        })
+        .join()
+        .unwrap();
+        p.pwb(0);
+        p.pfence();
+        let s = p.stats();
+        assert_eq!(s.redundant_pwbs, 0);
+        p.ordering_point("commit", &[(0, 8)]);
+        assert_eq!(p.stats().san_violations, 0);
+    }
+
+    #[test]
+    fn rewrite_after_pwb_reverts_line_to_dirty() {
+        let p = pool(SanitizeMode::Log);
+        p.write_u64(0, 1);
+        p.pwb(0);
+        p.write_u64(0, 2); // newer write invalidates the write-back
+        p.pfence();
+        p.ordering_point("commit", &[(0, 8)]);
+        let v = p.san_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, SanViolationKind::MissingPwb);
+    }
+
+    #[test]
+    fn crash_resets_line_state() {
+        let p = pool(SanitizeMode::Strict);
+        p.write_u64(0, 1); // dirty...
+        p.crash(&CrashPolicy::strict()).unwrap(); // ...lost in the crash
+        p.ordering_point("recovery", &[(0, 8)]); // must not flag stale state
+        assert_eq!(p.stats().san_violations, 0);
+    }
+
+    #[test]
+    fn drain_all_resets_line_state() {
+        let p = pool(SanitizeMode::Strict);
+        p.write_u64(0, 1);
+        p.drain_all(); // orderly shutdown persists everything
+        p.ordering_point("shutdown", &[(0, 8)]);
+        assert_eq!(p.stats().san_violations, 0);
+    }
+
+    #[test]
+    fn sanitizer_state_survives_many_threads() {
+        // Each thread runs a correct persist sequence on its own lines; no
+        // violations, and every ordering point is counted.
+        let p = pool(SanitizeMode::Strict);
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let a = t * 8 * CACHE_LINE;
+                    for i in 0..8u64 {
+                        p.write_u64(a + i * CACHE_LINE, i + 1);
+                        p.pwb(a + i * CACHE_LINE);
+                    }
+                    p.pfence();
+                    p.ordering_point("commit", &[(a, 8 * CACHE_LINE)]);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.san_violations, 0);
+        assert_eq!(s.ordering_points, 8);
+    }
+}

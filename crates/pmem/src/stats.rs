@@ -63,6 +63,10 @@ pub struct PmemStats {
     pub(crate) crashes: ShardedU64,
     pub(crate) injected_crashes: ShardedU64,
     pub(crate) secondary_unwinds: ShardedU64,
+    pub(crate) ordering_points: ShardedU64,
+    pub(crate) san_violations: ShardedU64,
+    pub(crate) redundant_pwbs: ShardedU64,
+    pub(crate) redundant_fences: ShardedU64,
 }
 
 impl PmemStats {
@@ -89,6 +93,10 @@ impl PmemStats {
             crashes: self.crashes.sum(),
             injected_crashes: self.injected_crashes.sum(),
             secondary_unwinds: self.secondary_unwinds.sum(),
+            ordering_points: self.ordering_points.sum(),
+            san_violations: self.san_violations.sum(),
+            redundant_pwbs: self.redundant_pwbs.sum(),
+            redundant_fences: self.redundant_fences.sum(),
         }
     }
 
@@ -104,6 +112,10 @@ impl PmemStats {
         self.crashes.reset();
         self.injected_crashes.reset();
         self.secondary_unwinds.reset();
+        self.ordering_points.reset();
+        self.san_violations.reset();
+        self.redundant_pwbs.reset();
+        self.redundant_fences.reset();
     }
 }
 
@@ -132,6 +144,19 @@ pub struct StatsSnapshot {
     /// Threads stopped by an injected crash they did not trigger (their
     /// first op against the frozen device unwound).
     pub secondary_unwinds: u64,
+    /// Labeled [`crate::Pmem::ordering_point`] emissions (FA commit and
+    /// retire, allocator publish, recovery apply). Counted in every
+    /// sanitizer mode, including `Off`.
+    pub ordering_points: u64,
+    /// Persist-ordering violations the sanitizer detected (`Log` mode
+    /// records them; `Strict` panics after counting the first).
+    pub san_violations: u64,
+    /// `pwb`s of already-clean lines — wasted flushes. Tracked only when
+    /// the sanitizer is on.
+    pub redundant_pwbs: u64,
+    /// Fences with no intervening `pwb` on the fencing thread — wasted
+    /// ordering points. Tracked only when the sanitizer is on.
+    pub redundant_fences: u64,
 }
 
 impl StatsSnapshot {
@@ -152,15 +177,21 @@ impl StatsSnapshot {
             crashes: self.crashes.saturating_sub(earlier.crashes),
             injected_crashes: self.injected_crashes.saturating_sub(earlier.injected_crashes),
             secondary_unwinds: self.secondary_unwinds.saturating_sub(earlier.secondary_unwinds),
+            ordering_points: self.ordering_points.saturating_sub(earlier.ordering_points),
+            san_violations: self.san_violations.saturating_sub(earlier.san_violations),
+            redundant_pwbs: self.redundant_pwbs.saturating_sub(earlier.redundant_pwbs),
+            redundant_fences: self.redundant_fences.saturating_sub(earlier.redundant_fences),
         }
     }
 
-    /// Total ordering points the device saw: `pfence` + `psync`. This is
-    /// the denominator of the acked-durability assertion — group commit is
-    /// working when ordering points per acknowledged write sit well below
-    /// one under pipelined load.
+    /// Labeled ordering points emitted via [`crate::Pmem::ordering_point`]
+    /// — FA commits and retires, allocator publishes, recovery applies.
+    /// Formerly the bare `pfence + psync` count; the labeled emissions are
+    /// the honest denominator of the acked-durability assertion: group
+    /// commit is working when ordering points per acknowledged write sit
+    /// well below one under pipelined load.
     pub fn ordering_points(&self) -> u64 {
-        self.pfences + self.psyncs
+        self.ordering_points
     }
 }
 

@@ -524,7 +524,7 @@ fn stats_text(shared: &Shared) -> String {
         "backend={}\nlen={}\nreads={}\nwrites={}\nhits={}\nmisses={}\n\
          acked_writes={}\nnacked_writes={}\nfailed_writes={}\ngroups={}\nbatches={}\nconnections={}\n\
          pwbs={}\npfences={}\npsyncs={}\nordering_points={}\nordering_points_per_acked_write={:.4}\n\
-         ack_latency={}\n",
+         redundant_pwbs={}\nredundant_fences={}\nsan_violations={}\nack_latency={}\n",
         shared.be.name(),
         shared.grid.len(),
         g.reads.load(Ordering::Relaxed),
@@ -542,6 +542,9 @@ fn stats_text(shared: &Shared) -> String {
         d.psyncs,
         d.ordering_points(),
         d.ordering_points() as f64 / acked as f64,
+        d.redundant_pwbs,
+        d.redundant_fences,
+        d.san_violations,
         lat.display_us(),
     )
 }
