@@ -63,6 +63,8 @@ mod runtime;
 #[macro_use]
 mod macros;
 
+mod sharded;
+
 pub use error::JnvmError;
 pub use fa::depth as fa_depth;
 pub use fa::{commit_phase, CommitPhase, StagedTx};
@@ -72,6 +74,7 @@ pub use proxy::{Proxy, RawChain};
 pub use recovery::{RecoveryMode, RecoveryOptions, RecoveryReport};
 pub use registry::{ClassOps, ClassRegistry};
 pub use runtime::{Jnvm, JnvmBuilder, JnvmRuntime};
+pub use sharded::ShardedJnvm;
 
 #[cfg(test)]
 mod tests;

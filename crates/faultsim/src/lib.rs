@@ -347,6 +347,91 @@ pub fn torture_sweep<Ctx: Sync>(
     summary
 }
 
+/// What happened in one sharded crash experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedTortureOutcome {
+    /// The armed crash point (ops counted on the crash shard's device).
+    pub point: u64,
+    /// Which device the crash was armed on.
+    pub crash_shard: usize,
+    /// Whether the point fired before the crash shard's op stream ended.
+    pub injected: bool,
+    /// Workers unwound by the crash. With one worker per disjoint device
+    /// this is at most 1 — workers never touch the frozen device, so no
+    /// secondary unwinds occur; that *is* the isolation property.
+    pub crashed_workers: usize,
+    /// Workers that ran to completion.
+    pub completed_workers: usize,
+}
+
+/// Run one **shard-aware** crash experiment over N disjoint devices: the
+/// crash is armed on `crash_shard`'s device only, one worker per shard
+/// runs `workload(shard, &ctx)`, and only workers that touch the frozen
+/// device unwind — the rest must complete. This is the device-level model
+/// of the sharded server's failure-isolation contract (one committer per
+/// pool; a power failure on one pool leaves the others committing).
+///
+/// Sequence per the single-device drivers: workers join (quiesce), the
+/// context is dropped while the crash device is still frozen, the device
+/// is thawed, its cache resynchronized from media if the crash fired, and
+/// only then does `verify(&pmems, &outcome)` run.
+pub fn sharded_torture_point<Ctx: Sync>(
+    point: u64,
+    plan: FaultPlan,
+    crash_shard: usize,
+    setup: impl FnOnce() -> (Vec<Arc<Pmem>>, Ctx),
+    workload: impl Fn(usize, &Ctx) + Sync,
+    verify: impl FnOnce(&[Arc<Pmem>], &ShardedTortureOutcome),
+) -> ShardedTortureOutcome {
+    let (pmems, ctx) = setup();
+    assert!(
+        crash_shard < pmems.len(),
+        "crash shard {crash_shard} out of range ({} devices)",
+        pmems.len()
+    );
+    for i in 0..pmems.len() {
+        for j in i + 1..pmems.len() {
+            assert!(
+                !Arc::ptr_eq(&pmems[i], &pmems[j]),
+                "shards {i} and {j} share one device — isolation claims need disjoint devices"
+            );
+        }
+    }
+    pmems[crash_shard].arm_faults(FaultPlan {
+        mode: FaultMode::CrashAt(point),
+        ..plan
+    });
+    let crashed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for shard in 0..pmems.len() {
+            let ctx = &ctx;
+            let workload = &workload;
+            let crashed = &crashed;
+            s.spawn(move || {
+                if catch_crash(|| workload(shard, ctx)).is_err() {
+                    crashed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    let injected = pmems[crash_shard].faults_frozen();
+    drop(ctx);
+    pmems[crash_shard].disarm_faults();
+    if injected {
+        pmems[crash_shard].resync_cache();
+    }
+    let crashed_workers = crashed.load(Ordering::SeqCst);
+    let outcome = ShardedTortureOutcome {
+        point,
+        crash_shard,
+        injected,
+        crashed_workers,
+        completed_workers: pmems.len() - crashed_workers,
+    };
+    verify(&pmems, &outcome);
+    outcome
+}
+
 /// Evenly strided sample of `0..total` with at most `max_points` elements,
 /// always including the first and last point. Lets long workloads run a
 /// representative sweep by default while keeping the exhaustive sweep
@@ -576,6 +661,56 @@ mod tests {
             },
         );
         assert!(summary.points_crashed > 0, "sweep must exercise crash points");
+    }
+
+    #[test]
+    fn sharded_crash_stops_only_the_crash_shards_worker() {
+        silence_crash_panics();
+        let setup = || {
+            let pmems: Vec<Arc<Pmem>> = (0..3)
+                .map(|_| Pmem::new(PmemConfig::crash_sim(4096)))
+                .collect();
+            let ctx = pmems.clone();
+            (pmems, ctx)
+        };
+        // Worker s writes 8 fenced lines to device s only.
+        let workload = |s: usize, devs: &Vec<Arc<Pmem>>| {
+            for i in 0..8u64 {
+                devs[s].write_u64(i * 64, i + 1);
+                devs[s].pwb(i * 64);
+                devs[s].pfence();
+            }
+        };
+        let outcome = sharded_torture_point(
+            2,
+            FaultPlan::count(),
+            1,
+            setup,
+            workload,
+            |pmems, outcome| {
+                assert!(outcome.injected);
+                // Non-crashed shards: every fenced write durable.
+                for s in [0usize, 2] {
+                    for i in 0..8u64 {
+                        assert_eq!(
+                            pmems[s].read_u64(i * 64),
+                            i + 1,
+                            "shard {s} lost a fenced write to another shard's crash"
+                        );
+                    }
+                }
+                // Crash shard: only its written prefix may be there.
+                for i in 0..8u64 {
+                    let v = pmems[1].read_u64(i * 64);
+                    assert!(v == 0 || v == i + 1, "torn value {v} on crash shard");
+                }
+            },
+        );
+        assert_eq!(
+            outcome.crashed_workers, 1,
+            "only the crash shard's worker touches the frozen device"
+        );
+        assert_eq!(outcome.completed_workers, 2);
     }
 
     #[test]

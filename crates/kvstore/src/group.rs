@@ -264,6 +264,40 @@ mod tests {
     }
 
     #[test]
+    fn deferred_set_keeps_its_del_behind_it() {
+        // The DEL twin of the SetField regression above: with more
+        // structural Sets than shards, Sets defer across group
+        // boundaries. A same-key Del is itself structural *and* keyed on
+        // the same stripe, so it must ride a strictly later round than
+        // its Set — if it ever jumped the queue, the Del would hit an
+        // absent key (result false) and the Set would then resurrect the
+        // record. Split across deferral rounds, per-key order must hold:
+        // every op applies, and the final state is "deleted".
+        let (_p, be, grid) = setup(true);
+        let mut ops = Vec::new();
+        for i in 0..32 {
+            let key = format!("dpair-{i:03}");
+            ops.push(set(&key, b"doomed"));
+            ops.push(WriteOp::Del(key));
+        }
+        let out = commit_writes(&grid, &be, &ops);
+        for (i, r) in out.results.iter().enumerate() {
+            assert!(*r, "op {i} failed: Del outran its Set across a group boundary");
+        }
+        assert!(
+            out.groups >= 2,
+            "32 structural pairs over 8 shards must span multiple groups"
+        );
+        for i in 0..32 {
+            assert!(
+                grid.read(&format!("dpair-{i:03}")).is_none(),
+                "dpair-{i:03}: Del must be the last word even when its Set deferred"
+            );
+        }
+        assert_eq!(grid.len(), 0);
+    }
+
+    #[test]
     fn jpdt_flavour_batches_behind_one_sync() {
         let (_p, be, grid) = setup(false);
         let ops = vec![set("a", b"1"), set("b", b"2"), WriteOp::Del("absent".into())];

@@ -30,6 +30,7 @@ mod group;
 mod jnvm_backend;
 mod lru;
 mod pcj;
+mod sharded;
 mod simfs;
 
 pub use backend::{Backend, NullFsBackend, VolatileBackend};
@@ -39,6 +40,7 @@ pub use group::{commit_writes, BatchOutcome, WriteOp};
 pub use jnvm_backend::{register_kvstore, JnvmBackend, PRecord};
 pub use lru::{LruCache, ShardedLru};
 pub use pcj::PcjBackend;
+pub use sharded::{shard_for_key, KvShard, ShardedKv};
 pub use simfs::{FsBackend, SimFs, TmpfsBackend};
 
 /// Simulated software costs (nanoseconds) of the non-J-NVM access paths.

@@ -318,14 +318,20 @@ mod tests {
             Insert(u8, u32),
             Get(u8),
             Remove(u8),
+            /// Read WITHOUT touching — recency must not move.
+            Peek(u8),
+            /// Drop everything (also resets the slab + free list).
+            Clear,
         }
 
         fn lru_ops() -> impl Strategy<Value = Vec<LruOp>> {
             proptest::collection::vec(
                 prop_oneof![
-                    (any::<u8>(), any::<u32>()).prop_map(|(k, v)| LruOp::Insert(k % 24, v)),
-                    any::<u8>().prop_map(|k| LruOp::Get(k % 24)),
-                    any::<u8>().prop_map(|k| LruOp::Remove(k % 24)),
+                    4 => (any::<u8>(), any::<u32>()).prop_map(|(k, v)| LruOp::Insert(k % 24, v)),
+                    3 => any::<u8>().prop_map(|k| LruOp::Get(k % 24)),
+                    2 => any::<u8>().prop_map(|k| LruOp::Remove(k % 24)),
+                    2 => any::<u8>().prop_map(|k| LruOp::Peek(k % 24)),
+                    1 => Just(LruOp::Clear),
                 ],
                 1..200,
             )
@@ -334,11 +340,14 @@ mod tests {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(64))]
 
-            /// `insert` agrees with a recency-ordered model: same hit/miss
-            /// answers, same length, and on overflow it evicts exactly the
-            /// least-recently-used entry (returned as `(key, value)`).
+            /// The full op set (insert/get/remove/peek/clear) agrees with a
+            /// recency-ordered model: same hit/miss answers, same length, on
+            /// overflow it evicts exactly the least-recently-used entry
+            /// (returned as `(key, value)`), `peek` answers like `get` but
+            /// must NOT promote, and `clear` resets to an empty cache whose
+            /// recency order rebuilds from scratch.
             #[test]
-            fn insert_matches_model(capacity in 1usize..12, ops in lru_ops()) {
+            fn ops_match_recency_model(capacity in 1usize..12, ops in lru_ops()) {
                 let mut c = LruCache::new(capacity);
                 // Model: vec ordered most- to least-recently used.
                 let mut model: Vec<(u8, u32)> = Vec::new();
@@ -373,6 +382,17 @@ mod tests {
                             prop_assert_eq!(c.remove(&k), want);
                             model.retain(|(mk, _)| *mk != k);
                         }
+                        LruOp::Peek(k) => {
+                            let got = c.peek(&k).copied();
+                            let want = model.iter().find(|(mk, _)| *mk == k).map(|(_, v)| *v);
+                            prop_assert_eq!(got, want);
+                            // Deliberately no model reorder: the end-of-run
+                            // drain below fails if peek promoted anything.
+                        }
+                        LruOp::Clear => {
+                            c.clear();
+                            model.clear();
+                        }
                     }
                     prop_assert_eq!(c.len(), model.len());
                     prop_assert!(c.len() <= capacity);
@@ -402,8 +422,21 @@ mod tests {
         let mut c = LruCache::new(16);
         // Model: vector ordered by recency.
         let mut model: Vec<(u32, u32)> = Vec::new();
-        for _ in 0..10_000 {
+        for step in 0..10_000 {
             let k = rng.random_range(0..40u32);
+            // Rare full clears exercise slab/free-list reset under load.
+            if step % 2_500 == 2_499 {
+                c.clear();
+                model.clear();
+                continue;
+            }
+            if rng.random_range(0..8u8) == 7 {
+                // Peek: answers like get, promotes nothing.
+                let got = c.peek(&k).copied();
+                let want = model.iter().find(|(mk, _)| *mk == k).map(|(_, v)| *v);
+                assert_eq!(got, want);
+                continue;
+            }
             match rng.random_range(0..3u8) {
                 0 => {
                     let v = rng.random::<u32>();

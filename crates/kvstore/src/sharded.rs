@@ -1,0 +1,216 @@
+//! Sharded KV engine: key-hash routing over N independent pool shards.
+//!
+//! Each shard is a complete stack — device, [`jnvm::Jnvm`] runtime,
+//! [`JnvmBackend`], [`DataGrid`] — and keys route to shards by the same
+//! FNV-1a hash the backend uses for its in-pool map shards. Because the
+//! shards share nothing (disjoint devices, asserted by
+//! [`jnvm::ShardedJnvm`]), a committer per shard may run
+//! [`crate::commit_writes`] concurrently with every other shard's
+//! committer: the group-commit exclusive-writer contract is per backend,
+//! and routing guarantees a key only ever reaches one backend.
+
+use std::sync::Arc;
+
+use jnvm::{Jnvm, JnvmError, RecoveryOptions, RecoveryReport, ShardedJnvm};
+use jnvm_heap::HeapConfig;
+use jnvm_pmem::Pmem;
+
+use crate::backend::Backend;
+use crate::codec::Record;
+use crate::grid::{DataGrid, GridConfig};
+use crate::group::WriteOp;
+use crate::jnvm_backend::{register_kvstore, JnvmBackend};
+
+/// Route `key` to one of `nshards` pool shards (FNV-1a, the workspace's
+/// standard key hash). Stable across runs and processes: the reopen path
+/// must route every key to the shard that stored it.
+pub fn shard_for_key(key: &str, nshards: usize) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    (h as usize) % nshards.max(1)
+}
+
+/// One pool shard's full stack.
+pub struct KvShard {
+    /// The shard's device.
+    pub pmem: Arc<Pmem>,
+    /// The shard's runtime (own FA manager, persistence domains, recovery
+    /// state).
+    pub rt: Jnvm,
+    /// The shard's persistent backend.
+    pub be: Arc<JnvmBackend>,
+    /// The shard's grid (cache + lock stripes + metrics).
+    pub grid: Arc<DataGrid>,
+}
+
+/// N [`KvShard`] stacks plus the routing function.
+pub struct ShardedKv {
+    shards: Vec<KvShard>,
+}
+
+impl ShardedKv {
+    /// Format a fresh pool on every device and stack a backend + grid on
+    /// each. `map_shards` is the per-pool map shard count (the in-pool
+    /// sharding that existed before multi-pool; orthogonal to routing).
+    pub fn create(
+        pmems: &[Arc<Pmem>],
+        map_shards: usize,
+        fa: bool,
+        grid_cfg: GridConfig,
+    ) -> Result<ShardedKv, JnvmError> {
+        let runtimes =
+            ShardedJnvm::create(pmems, HeapConfig::default(), register_kvstore)?.into_shards();
+        Self::stack(pmems, runtimes, grid_cfg, |rt| {
+            JnvmBackend::create(rt, map_shards.max(1), fa)
+        })
+    }
+
+    /// Reopen every shard (concurrent per-shard recovery via
+    /// [`ShardedJnvm::open_with_options`]) and re-anchor a backend + grid
+    /// on each. Returns one [`RecoveryReport`] per shard.
+    pub fn open(
+        pmems: &[Arc<Pmem>],
+        fa: bool,
+        grid_cfg: GridConfig,
+        opts: RecoveryOptions,
+    ) -> Result<(ShardedKv, Vec<RecoveryReport>), JnvmError> {
+        let (runtimes, reports) =
+            ShardedJnvm::open_with_options(pmems, opts, register_kvstore)?;
+        let kv = Self::stack(pmems, runtimes.into_shards(), grid_cfg, |rt| {
+            JnvmBackend::open(rt, fa)
+        })?;
+        Ok((kv, reports))
+    }
+
+    fn stack(
+        pmems: &[Arc<Pmem>],
+        runtimes: Vec<Jnvm>,
+        grid_cfg: GridConfig,
+        be_for: impl Fn(&Jnvm) -> Result<JnvmBackend, JnvmError>,
+    ) -> Result<ShardedKv, JnvmError> {
+        let shards = pmems
+            .iter()
+            .zip(runtimes)
+            .map(|(pmem, rt)| {
+                let be = Arc::new(be_for(&rt)?);
+                let grid = Arc::new(DataGrid::new(
+                    Arc::clone(&be) as Arc<dyn Backend>,
+                    grid_cfg,
+                ));
+                Ok(KvShard {
+                    pmem: Arc::clone(pmem),
+                    rt,
+                    be,
+                    grid,
+                })
+            })
+            .collect::<Result<Vec<_>, JnvmError>>()?;
+        Ok(ShardedKv { shards })
+    }
+
+    /// Number of pool shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` routes to.
+    pub fn route(&self, key: &str) -> usize {
+        shard_for_key(key, self.shards.len())
+    }
+
+    /// One shard's stack.
+    pub fn shard(&self, i: usize) -> &KvShard {
+        &self.shards[i]
+    }
+
+    /// All shards, in shard order.
+    pub fn shards(&self) -> &[KvShard] {
+        &self.shards
+    }
+
+    /// Read `key` through its shard's grid.
+    pub fn read(&self, key: &str) -> Option<Record> {
+        self.shards[self.route(key)].grid.read(key)
+    }
+
+    /// Total records across shards.
+    pub fn records(&self) -> usize {
+        self.shards.iter().map(|s| s.grid.len()).sum()
+    }
+
+    /// Debug-check that every op in `ops` routes to shard `shard` — the
+    /// invariant a per-shard committer's batches must satisfy before
+    /// handing them to [`crate::commit_writes`].
+    pub fn assert_routed(&self, shard: usize, ops: &[WriteOp]) {
+        debug_assert!(
+            ops.iter().all(|op| self.route(op.key()) == shard),
+            "op routed to the wrong shard's committer"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::commit_writes;
+    use jnvm_pmem::PmemConfig;
+
+    fn devices(n: usize) -> Vec<Arc<Pmem>> {
+        (0..n)
+            .map(|_| Pmem::new(PmemConfig::crash_sim(16 << 20)))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_stable_and_reasonably_balanced() {
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            let key = format!("c0-{i:06}");
+            let s = shard_for_key(&key, 4);
+            assert_eq!(s, shard_for_key(&key, 4), "routing must be deterministic");
+            counts[s] += 1;
+        }
+        for (s, c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1500).contains(c),
+                "shard {s} got {c} of 4000 keys — hash badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_create_write_reopen_roundtrip() {
+        let pmems = devices(3);
+        let kv = ShardedKv::create(&pmems, 8, true, GridConfig::default()).unwrap();
+        // Commit through each shard's own committer path, as the server
+        // does: ops grouped per shard, commit_writes per shard.
+        let keys: Vec<String> = (0..60).map(|i| format!("key-{i:03}")).collect();
+        let mut per_shard: Vec<Vec<WriteOp>> = vec![Vec::new(); kv.num_shards()];
+        for k in &keys {
+            per_shard[kv.route(k)]
+                .push(WriteOp::Set(Record::ycsb(k, &[k.as_bytes().to_vec()])));
+        }
+        for (s, ops) in per_shard.iter().enumerate() {
+            kv.assert_routed(s, ops);
+            let shard = kv.shard(s);
+            let out = commit_writes(&shard.grid, &shard.be, ops);
+            assert!(out.results.iter().all(|&r| r));
+        }
+        assert_eq!(kv.records(), keys.len());
+        drop(kv);
+        for p in &pmems {
+            p.crash(&jnvm_pmem::CrashPolicy::strict()).expect("crash");
+        }
+        let (kv2, reports) =
+            ShardedKv::open(&pmems, true, GridConfig::default(), RecoveryOptions::parallel(2))
+                .unwrap();
+        assert_eq!(reports.len(), 3);
+        for k in &keys {
+            let rec = kv2.read(k).expect("record survives reopen");
+            assert_eq!(rec.fields[0].1, k.as_bytes());
+        }
+        assert_eq!(kv2.records(), keys.len());
+    }
+}

@@ -193,6 +193,28 @@ impl StatsSnapshot {
     pub fn ordering_points(&self) -> u64 {
         self.ordering_points
     }
+
+    /// Counter-wise accumulate `other` into `self` — the aggregation a
+    /// sharded engine needs to report one fleet-wide snapshot over N
+    /// disjoint devices. Totals (not maxima): a fleet snapshot answers
+    /// "how much device work happened", while per-shard critical-path
+    /// comparisons should keep the snapshots separate.
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.pwbs += other.pwbs;
+        self.pfences += other.pfences;
+        self.psyncs += other.psyncs;
+        self.crashes += other.crashes;
+        self.injected_crashes += other.injected_crashes;
+        self.secondary_unwinds += other.secondary_unwinds;
+        self.ordering_points += other.ordering_points;
+        self.san_violations += other.san_violations;
+        self.redundant_pwbs += other.redundant_pwbs;
+        self.redundant_fences += other.redundant_fences;
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +238,46 @@ mod tests {
         assert_eq!(d.reads, 0);
         assert_eq!(d.writes, 0);
         assert_eq!(d.pwbs, 5);
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let a = StatsSnapshot {
+            reads: 1,
+            writes: 2,
+            bytes_read: 3,
+            bytes_written: 4,
+            pwbs: 5,
+            pfences: 6,
+            psyncs: 7,
+            crashes: 8,
+            injected_crashes: 9,
+            secondary_unwinds: 10,
+            ordering_points: 11,
+            san_violations: 12,
+            redundant_pwbs: 13,
+            redundant_fences: 14,
+        };
+        let mut total = a;
+        total.absorb(&a);
+        // Doubling every field catches a counter forgotten in absorb.
+        let twice = StatsSnapshot {
+            reads: 2,
+            writes: 4,
+            bytes_read: 6,
+            bytes_written: 8,
+            pwbs: 10,
+            pfences: 12,
+            psyncs: 14,
+            crashes: 16,
+            injected_crashes: 18,
+            secondary_unwinds: 20,
+            ordering_points: 22,
+            san_violations: 24,
+            redundant_pwbs: 26,
+            redundant_fences: 28,
+        };
+        assert_eq!(total, twice);
+        assert_eq!(total.ordering_points(), 22);
     }
 }

@@ -8,22 +8,25 @@
 //! jnvm-loadgen --addr 127.0.0.1:41234 [--conns 4] [--ops 200] ...
 //!
 //! # spin up a server in-process, load it, report fences per acked write
-//! jnvm-loadgen --self-host [--conns 4] [--ops 200] ...
+//! jnvm-loadgen --self-host [--shards 1] [--conns 4] [--ops 200] ...
 //!
 //! # one kill-during-traffic experiment (or a whole sweep)
-//! jnvm-loadgen --kill-at 1234
+//! jnvm-loadgen --kill-at 1234 [--shards 4] [--crash-shard 0]
 //! jnvm-loadgen --kill-sweep 25        # 25 strided points over the op space
 //! ```
+//!
+//! `--shards` opens that many independent pools with one group committer
+//! each; the kill modes arm the crash on `--crash-shard`'s device only,
+//! so the experiment covers the failure-isolation contract: the other
+//! shards must keep acking while one lies dead.
 
 use std::sync::Arc;
 
-use jnvm::JnvmBuilder;
-use jnvm_heap::HeapConfig;
-use jnvm_kvstore::{register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend};
+use jnvm_kvstore::{GridConfig, ShardedKv};
 use jnvm_pmem::{Pmem, PmemConfig};
 use jnvm_server::{
     kill_during_traffic, run_loadgen, traffic_op_count, Args, LoadReport, LoadgenConfig, Server,
-    ServerConfig, TortureConfig,
+    ServerConfig, ShardHandle, TortureConfig,
 };
 
 fn load_cfg(args: &Args) -> LoadgenConfig {
@@ -39,7 +42,9 @@ fn load_cfg(args: &Args) -> LoadgenConfig {
 fn torture_cfg(args: &Args) -> TortureConfig {
     TortureConfig {
         load: load_cfg(args),
-        shards: args.get_or("shards", 16),
+        shards: args.get_or("map-shards", 16),
+        pool_shards: args.get_or("shards", 1),
+        crash_shard: args.get_or("crash-shard", 0),
         pool_bytes: args.get_or::<u64>("pool-mb", 64) << 20,
         recovery_threads: args.get_or("recovery-threads", 1),
         server: ServerConfig {
@@ -62,6 +67,11 @@ fn print_report(report: &LoadReport) {
         secs,
         replied as f64 / secs
     );
+    for c in &report.per_conn {
+        if let Some(e) = c.proto_error {
+            eprintln!("conn {}: reply stream unparseable: {e}", c.conn);
+        }
+    }
     println!("latency {}", report.hist.summary().display_us());
 }
 
@@ -73,8 +83,10 @@ fn main() {
         let point: u64 = point.parse().expect("--kill-at takes an op index");
         match kill_during_traffic(point, &torture_cfg(&args)) {
             Ok(r) => println!(
-                "point {point}: ok (injected={} acked={} keys_checked={} ops_counted={})",
-                r.injected, r.acked_writes, r.keys_checked, r.ops_counted
+                "point {point}: ok (injected={} acked={} acked_after_first_error={} \
+                 keys_checked={} ops_counted={})",
+                r.injected, r.acked_writes, r.acked_after_first_error, r.keys_checked,
+                r.ops_counted
             ),
             Err(e) => {
                 eprintln!("point {point}: FAILED: {e}");
@@ -94,8 +106,8 @@ fn main() {
             let point = 1 + k * total.max(1) / points.max(1);
             match kill_during_traffic(point, &tcfg) {
                 Ok(r) => println!(
-                    "point {point}: ok (injected={} acked={} keys={})",
-                    r.injected, r.acked_writes, r.keys_checked
+                    "point {point}: ok (injected={} acked={} after_first_err={} keys={})",
+                    r.injected, r.acked_writes, r.acked_after_first_error, r.keys_checked
                 ),
                 Err(e) => {
                     eprintln!("point {point}: FAILED: {e}");
@@ -112,33 +124,47 @@ fn main() {
 
     if args.has("self-host") {
         let pool_mb: u64 = args.get_or("pool-mb", 256);
-        let shards: usize = args.get_or("shards", 16);
+        let pool_shards: usize = args.get_or("shards", 1);
+        let map_shards: usize = args.get_or("map-shards", 16);
         let scfg = ServerConfig {
             batch_max: args.get_or("batch-max", 64),
             queue_cap: args.get_or("queue-cap", 256),
         };
-        let pmem = Pmem::new(PmemConfig::crash_sim(pool_mb << 20));
-        let rt = register_kvstore(JnvmBuilder::new())
-            .create(Arc::clone(&pmem), HeapConfig::default())
-            .expect("create pool");
-        let be = Arc::new(JnvmBackend::create(&rt, shards.max(1), true).expect("create backend"));
-        let grid = Arc::new(DataGrid::new(
-            Arc::clone(&be) as Arc<dyn Backend>,
+        let pmems: Vec<Arc<Pmem>> = (0..pool_shards.max(1))
+            .map(|_| Pmem::new(PmemConfig::crash_sim(pool_mb << 20)))
+            .collect();
+        let kv = ShardedKv::create(
+            &pmems,
+            map_shards,
+            true,
             GridConfig {
                 cache_capacity: 0,
                 ..GridConfig::default()
             },
-        ));
-        let before = pmem.stats();
-        let server = Server::start(grid, Arc::clone(&be), Arc::clone(&pmem), scfg)
-            .expect("bind server");
+        )
+        .expect("create pools");
+        let handles: Vec<ShardHandle> = kv
+            .shards()
+            .iter()
+            .map(|s| ShardHandle {
+                grid: Arc::clone(&s.grid),
+                be: Arc::clone(&s.be),
+                pmem: Arc::clone(&s.pmem),
+            })
+            .collect();
+        let before: Vec<_> = pmems.iter().map(|p| p.stats()).collect();
+        let server = Server::start_sharded(handles, scfg).expect("bind server");
         let report = run_loadgen(server.addr(), &cfg);
         let stats = server.stats();
         server.shutdown();
-        let d = pmem.stats().delta(&before);
+        let mut d = jnvm_pmem::StatsSnapshot::default();
+        for (p, b) in pmems.iter().zip(&before) {
+            d.absorb(&p.stats().delta(b));
+        }
         print_report(&report);
         println!(
-            "groups={} batches={} ordering_points={} per_acked_write={:.4}",
+            "shards={} groups={} batches={} ordering_points={} per_acked_write={:.4}",
+            stats.shards,
             stats.groups,
             stats.batches,
             d.ordering_points(),

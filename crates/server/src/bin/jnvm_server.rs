@@ -1,96 +1,112 @@
 //! Standalone `jnvm-server`: a persistent KV store behind a TCP wire
-//! protocol, with group commit on the write path.
+//! protocol, with per-shard group commit on the write path.
 //!
 //! ```text
-//! jnvm-server [--pool-mb 256] [--shards 16] [--batch-max 64]
-//!             [--queue-cap 256] [--no-fa] [--recovery-threads 1]
-//!             [--restart-drill]
+//! jnvm-server [--pool-mb 256] [--shards 1] [--map-shards 16]
+//!             [--batch-max 64] [--queue-cap 256] [--no-fa]
+//!             [--recovery-threads 1] [--restart-drill]
 //! ```
+//!
+//! `--shards N` opens N independent pools (each `--pool-mb` MiB, with its
+//! own FA manager and group committer); keys route to pools by hash.
+//! `--map-shards` is the per-pool map shard count — the in-pool sharding
+//! that predates multi-pool, orthogonal to routing.
 //!
 //! Binds an ephemeral localhost port and prints `listening on <addr>`;
 //! drive it with `jnvm-loadgen --addr <addr>` or any client speaking the
 //! protocol in `jnvm_server::proto`. A SHUTDOWN frame stops it and dumps
 //! the final STATS block.
 //!
-//! `--recovery-threads N` sets the worker-thread count of the recovery
-//! pass whenever this process reopens its pool; `--restart-drill`
-//! exercises it before serving: the freshly formatted pool is crashed,
-//! reopened with an N-way recovery, and the recovery report printed, so
-//! the served heap is a *recovered* heap.
+//! `--recovery-threads N` sets the worker-thread count of the per-shard
+//! recovery pass whenever this process reopens its pools (shards recover
+//! concurrently on top of that); `--restart-drill` exercises it before
+//! serving: the freshly formatted pools are crashed, reopened with an
+//! N-way recovery per shard, and the recovery reports printed, so the
+//! served heaps are *recovered* heaps.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use jnvm::{Jnvm, JnvmBuilder, RecoveryOptions};
-use jnvm_heap::HeapConfig;
-use jnvm_kvstore::{register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend};
-use jnvm_pmem::{CrashPolicy, Pmem, PmemConfig};
-use jnvm_server::{Args, Server, ServerConfig};
+use jnvm::RecoveryOptions;
+use jnvm_kvstore::{GridConfig, ShardedKv};
+use jnvm_pmem::{CrashPolicy, Pmem, PmemConfig, StatsSnapshot};
+use jnvm_server::{Args, Server, ServerConfig, ShardHandle};
 
 fn main() {
     let args = Args::parse();
     let pool_mb: u64 = args.get_or("pool-mb", 256);
-    let shards: usize = args.get_or("shards", 16);
+    let pool_shards: usize = args.get_or("shards", 1);
+    let map_shards: usize = args.get_or("map-shards", 16);
     let fa = !args.has("no-fa");
     let cfg = ServerConfig {
         batch_max: args.get_or("batch-max", 64),
         queue_cap: args.get_or("queue-cap", 256),
     };
-
     let recovery_threads: usize = args.get_or("recovery-threads", 1);
 
-    let pmem = Pmem::new(PmemConfig::crash_sim(pool_mb << 20));
-    let rt = register_kvstore(JnvmBuilder::new())
-        .create(Arc::clone(&pmem), HeapConfig::default())
-        .expect("create pool");
-    let mut rt: Jnvm = rt;
-    let mut be = Arc::new(JnvmBackend::create(&rt, shards.max(1), fa).expect("create backend"));
-    // `rt` is never queried again after backend construction, but it must
-    // outlive the server: dropping the runtime tears down the heap the
-    // backend's proxies point into.
+    let pmems: Vec<Arc<Pmem>> = (0..pool_shards.max(1))
+        .map(|_| Pmem::new(PmemConfig::crash_sim(pool_mb << 20)))
+        .collect();
+    // No volatile cache: the J-NVM backends gain nothing from one (§5.3.1).
+    let grid_cfg = GridConfig {
+        cache_capacity: 0,
+        ..GridConfig::default()
+    };
+    let mut kv = ShardedKv::create(&pmems, map_shards, fa, grid_cfg).expect("create pools");
 
     if args.has("restart-drill") {
-        // Crash the fresh pool and serve the *recovered* heap: the same
-        // reopen path a real restart takes, at the configured thread count.
-        rt.psync();
-        drop(be);
-        drop(rt);
-        pmem.crash(&CrashPolicy::strict()).expect("simulated power failure");
-        let (rt2, report) = register_kvstore(JnvmBuilder::new())
-            .open_with_options(
-                Arc::clone(&pmem),
-                RecoveryOptions::parallel(recovery_threads),
-            )
-            .expect("recovery");
-        println!(
-            "restart drill: threads={} replayed={} live_objects={} live_blocks={} \
-             freed_blocks={} gc={:.3}ms (modeled {:.3}ms)",
-            report.threads,
-            report.replayed_logs,
-            report.live_objects,
-            report.live_blocks,
-            report.freed_blocks,
-            report.gc_time.as_secs_f64() * 1e3,
-            report.modeled_gc_time().as_secs_f64() * 1e3,
-        );
-        be = Arc::new(JnvmBackend::open(&rt2, fa).expect("backend reopen"));
-        rt = rt2;
+        // Crash every fresh pool and serve the *recovered* heaps: the
+        // same reopen path a real restart takes — each shard recovered
+        // concurrently, each with the configured thread count.
+        for s in kv.shards() {
+            s.rt.psync();
+        }
+        drop(kv);
+        for p in &pmems {
+            p.crash(&CrashPolicy::strict()).expect("simulated power failure");
+        }
+        let (kv2, reports) = ShardedKv::open(
+            &pmems,
+            fa,
+            grid_cfg,
+            RecoveryOptions::parallel(recovery_threads),
+        )
+        .expect("recovery");
+        for (i, report) in reports.iter().enumerate() {
+            println!(
+                "restart drill shard {i}: threads={} replayed={} live_objects={} \
+                 live_blocks={} freed_blocks={} gc={:.3}ms (modeled {:.3}ms)",
+                report.threads,
+                report.replayed_logs,
+                report.live_objects,
+                report.live_blocks,
+                report.freed_blocks,
+                report.gc_time.as_secs_f64() * 1e3,
+                report.modeled_gc_time().as_secs_f64() * 1e3,
+            );
+        }
+        kv = kv2;
     }
-    let _keepalive = rt;
 
-    let grid = Arc::new(DataGrid::new(
-        Arc::clone(&be) as Arc<dyn Backend>,
-        GridConfig {
-            cache_capacity: 0,
-            ..GridConfig::default()
-        },
-    ));
-    let server = Server::start(grid, Arc::clone(&be), Arc::clone(&pmem), cfg)
-        .expect("bind server");
+    let handles: Vec<ShardHandle> = kv
+        .shards()
+        .iter()
+        .map(|s| ShardHandle {
+            grid: Arc::clone(&s.grid),
+            be: Arc::clone(&s.be),
+            pmem: Arc::clone(&s.pmem),
+        })
+        .collect();
+    // The kv stack (notably each shard's runtime) must outlive the
+    // server: dropping a runtime tears down the heap its backend's
+    // proxies point into.
+    let _keepalive = &kv;
+
+    let server = Server::start_sharded(handles, cfg).expect("bind server");
     println!("listening on {}", server.addr());
     println!(
-        "pool={} MiB shards={} fa={} batch_max={} queue_cap={} recovery_threads={}",
-        pool_mb, shards, fa, cfg.batch_max, cfg.queue_cap, recovery_threads
+        "pools={}x{} MiB map_shards={} fa={} batch_max={} queue_cap={} recovery_threads={}",
+        pool_shards, pool_mb, map_shards, fa, cfg.batch_max, cfg.queue_cap, recovery_threads
     );
 
     while !server.shutdown_requested() && !server.is_dead() {
@@ -98,15 +114,20 @@ fn main() {
     }
     let stats = server.stats();
     server.shutdown();
-    let d = pmem.stats();
+    let mut d = StatsSnapshot::default();
+    for p in &pmems {
+        d.absorb(&p.stats());
+    }
     println!(
-        "acked_writes={} nacked={} failed={} groups={} batches={} conns={}",
+        "acked_writes={} nacked={} failed={} groups={} batches={} conns={} shards={} dead_shards={}",
         stats.acked_writes,
         stats.nacked_writes,
         stats.failed_writes,
         stats.groups,
         stats.batches,
-        stats.connections
+        stats.connections,
+        stats.shards,
+        stats.dead_shards
     );
     println!(
         "ordering_points={} per_acked_write={:.4}",

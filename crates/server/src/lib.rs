@@ -10,19 +10,26 @@
 //!
 //! The server's write path is built around one invariant: **a reply is
 //! released only after the write's group durability point**. Worker
-//! (connection) threads never touch the persistent device on the write
-//! path — they decode ops and enqueue them. A single committer thread
-//! drains the queue and runs [`jnvm_kvstore::commit_writes`], which stages
-//! each op as its own failure-atomic block and commits whole groups behind
-//! a shared fence pair. Only when the group call returns (staging flushed,
-//! commit points durable, entries applied) are the batch's tickets
-//! resolved and the OK replies sent. A crash at *any* device operation
-//! therefore cannot lose an acknowledged write — exactly what the
-//! kill-during-traffic torture in [`torture`] sweeps for.
+//! (connection) threads never touch the persistent devices on the write
+//! path — they decode ops and enqueue them. One committer thread *per
+//! pool shard* drains its shard's queue and runs
+//! [`jnvm_kvstore::commit_writes`], which stages each op as its own
+//! failure-atomic block and commits whole groups behind a shared fence
+//! pair. Only when the group call returns (staging flushed, commit points
+//! durable, entries applied) are the batch's tickets resolved and the OK
+//! replies sent. A crash at *any* device operation therefore cannot lose
+//! an acknowledged write — exactly what the kill-during-traffic torture
+//! in [`torture`] sweeps for.
 //!
-//! Group commit is also the amortization story: `k` pipelined writes cost
+//! Group commit is the amortization story: `k` pipelined writes cost
 //! 3 fences per *group*, not 3 per op, so ordering points per acked write
 //! drop well below one under load (asserted via `jnvm-pmem` stats).
+//! Sharding is the concurrency story on top: keys route to `N`
+//! independent pools ([`jnvm_kvstore::shard_for_key`]), so `K` writes
+//! spread over `N` shards pay `N` *concurrent* fence passes instead of
+//! serializing behind one committer, and a crash on one shard's device
+//! kills only that shard — the others keep committing (`fig13` measures
+//! the scaling; the shard-aware torture pins the isolation).
 //!
 //! The crate ships two binaries — `jnvm-server` (standalone server over a
 //! fresh crash-sim pool) and `jnvm-loadgen` (pipelined load generator,
@@ -38,7 +45,8 @@ pub mod torture;
 pub use args::Args;
 pub use loadgen::{run_loadgen, ConnReport, LoadReport, LoadgenConfig};
 pub use proto::{
-    encode_reply, encode_request, parse_frame, parse_reply, ParseOutcome, Reply, Request,
+    encode_reply, encode_request, parse_frame, parse_reply, ParseOutcome, ProtoError, Reply,
+    Request,
 };
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{Server, ServerConfig, ServerStats, ShardHandle};
 pub use torture::{kill_during_traffic, traffic_op_count, KillReport, TortureConfig};

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use jnvm_kvstore::Record;
 use jnvm_ycsb::Histogram;
 
-use crate::proto::{encode_request, parse_reply, Reply, Request};
+use crate::proto::{encode_request, parse_reply, ProtoError, Reply, Request};
 
 /// Load shape.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +82,10 @@ pub struct ConnReport {
     pub outcomes: Vec<OpOutcome>,
     /// Reply latency histogram (ns).
     pub hist: Histogram,
+    /// Set when the connection stopped because the reply stream became
+    /// unparseable (as opposed to timing out or being cut). Previously
+    /// this was silently folded into "no reply".
+    pub proto_error: Option<ProtoError>,
 }
 
 impl ConnReport {
@@ -155,26 +159,28 @@ fn expected_get(conn: usize, i: usize, cfg: &LoadgenConfig) -> Record {
     Record::ycsb(&key_for(conn, i - 1), &values)
 }
 
-fn read_reply(stream: &mut TcpStream, rbuf: &mut Vec<u8>) -> Option<Reply> {
+/// `Ok(None)` = stream ended or timed out; `Err` = the reply stream is
+/// unparseable ([`ProtoError`]) — typed, so the caller can record it
+/// instead of conflating it with silence.
+fn read_reply(
+    stream: &mut TcpStream,
+    rbuf: &mut Vec<u8>,
+) -> Result<Option<Reply>, ProtoError> {
     let deadline = Instant::now() + Duration::from_secs(10);
     let mut tmp = [0u8; 8 * 1024];
     loop {
-        match parse_reply(rbuf) {
-            Ok(Some((reply, n))) => {
-                rbuf.drain(..n);
-                return Some(reply);
-            }
-            Ok(None) => {}
-            Err(_) => return None,
+        if let Some((reply, n)) = parse_reply(rbuf)? {
+            rbuf.drain(..n);
+            return Ok(Some(reply));
         }
         if Instant::now() > deadline {
-            return None;
+            return Ok(None);
         }
         match stream.read(&mut tmp) {
-            Ok(0) => return None,
+            Ok(0) => return Ok(None),
             Ok(n) => rbuf.extend_from_slice(&tmp[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-            Err(_) => return None,
+            Err(_) => return Ok(None),
         }
     }
 }
@@ -185,6 +191,7 @@ fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
         sent: 0,
         outcomes: vec![OpOutcome::NoReply; cfg.ops_per_conn],
         hist: Histogram::new(),
+        proto_error: None,
     };
     let Ok(mut stream) = TcpStream::connect(addr) else {
         return report;
@@ -199,8 +206,13 @@ fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
     let settle =
         |report: &mut ConnReport, window: &mut std::collections::VecDeque<(usize, Instant)>,
          stream: &mut TcpStream, rbuf: &mut Vec<u8>| {
-            let Some(reply) = read_reply(stream, rbuf) else {
-                return false;
+            let reply = match read_reply(stream, rbuf) {
+                Ok(Some(reply)) => reply,
+                Ok(None) => return false,
+                Err(e) => {
+                    report.proto_error = Some(e);
+                    return false;
+                }
             };
             let (i, sent_at) = window.pop_front().expect("reply without request");
             report.hist.record(sent_at.elapsed().as_nanos() as u64);

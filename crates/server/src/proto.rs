@@ -230,17 +230,52 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
     out
 }
 
+/// Why a reply stream stopped parsing. A server can feed a client
+/// anything — torn frames after a crash, a proxy's HTML, line noise — so
+/// the client-side parser reports *typed* errors the caller can match on
+/// and fold into per-op outcomes, instead of a bare string begging for
+/// `.unwrap()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The length word exceeds [`MAX_FRAME`]; the stream is hostile or
+    /// desynchronized, nothing after this point can be framed.
+    ReplyTooLarge {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// The status byte is none of the known reply codes.
+    UnknownStatus(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::ReplyTooLarge { len } => {
+                write!(f, "reply too large ({len} B > {MAX_FRAME} B cap)")
+            }
+            ProtoError::UnknownStatus(s) => write!(f, "unknown reply status {s:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
 /// Try to parse one reply from the front of `buf` (client side). Returns
 /// the reply and bytes consumed, `Ok(None)` when incomplete, `Err` when
-/// the stream is unparseable.
-pub fn parse_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, &'static str> {
+/// the stream is unparseable from here on.
+pub fn parse_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, ProtoError> {
     if buf.len() < 5 {
         return Ok(None);
     }
+    // Status first: on a desynchronized stream the next four bytes are
+    // not a length, and "unknown status" is the diagnosis that says so.
     let status = buf[0];
+    if !matches!(status, ST_OK | ST_VALUE | ST_NOT_FOUND | ST_ERR) {
+        return Err(ProtoError::UnknownStatus(status));
+    }
     let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
     if len > MAX_FRAME {
-        return Err("reply too large");
+        return Err(ProtoError::ReplyTooLarge { len });
     }
     if buf.len() < 5 + len {
         return Ok(None);
@@ -251,7 +286,7 @@ pub fn parse_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, &'static str> {
         ST_VALUE => Reply::Value(payload),
         ST_NOT_FOUND => Reply::NotFound,
         ST_ERR => Reply::Err(String::from_utf8_lossy(&payload).into_owned()),
-        _ => return Err("unknown reply status"),
+        _ => unreachable!("status validated above"),
     };
     Ok(Some((reply, 5 + len)))
 }
@@ -302,6 +337,37 @@ mod tests {
             let (back, n) = parse_reply(&bytes).unwrap().unwrap();
             assert_eq!(back, r);
             assert_eq!(n, bytes.len());
+        }
+    }
+
+    #[test]
+    fn garbage_replies_are_typed_errors_not_panics() {
+        // A STATS request answered with line noise: the status byte is no
+        // reply code. Pre-ProtoError this path only surfaced as a
+        // `&'static str` that call sites unwrapped.
+        let garbage = b"HTTP/1.1 200 OK\r\n\r\nuptime=9";
+        assert_eq!(
+            parse_reply(garbage),
+            Err(ProtoError::UnknownStatus(b'H'))
+        );
+        // A plausible status byte but an absurd length word: typed, and
+        // carries the claimed length for the caller's diagnostics.
+        let mut huge = vec![ST_VALUE];
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            parse_reply(&huge),
+            Err(ProtoError::ReplyTooLarge {
+                len: u32::MAX as usize
+            })
+        );
+        // Both render a human-readable reason.
+        assert!(format!("{}", ProtoError::UnknownStatus(b'H')).contains("0x48"));
+        assert!(
+            format!("{}", ProtoError::ReplyTooLarge { len: 7 }).contains("7 B")
+        );
+        // Truncated-but-sane prefixes stay Incomplete, never errors.
+        for cut in 0..5 {
+            assert_eq!(parse_reply(&huge[..cut]), Ok(None));
         }
     }
 

@@ -1,26 +1,37 @@
-//! The server: acceptor + per-connection handler threads + one committer.
+//! The server: acceptor + per-connection handler threads + one group
+//! committer **per pool shard**.
 //!
-//! ## Write path and the ack barrier
+//! ## Sharded write path and the ack barrier
 //!
-//! Connection handlers never touch the persistent device for writes. They
-//! decode ops, enqueue them on a bounded queue (backpressure: producers
-//! block while it is full) and hold a *ticket* per op. The committer
-//! drains up to `batch_max` ops, runs [`jnvm_kvstore::commit_writes`]
-//! (group commit: 3 fences per group, not per op) and resolves the batch's
-//! tickets only after that call returns — i.e. after the group durability
-//! point *and* the apply phase, so a subsequent GET on the same connection
-//! reads its own writes. Handlers release replies strictly in request
-//! order: writes when their ticket resolves, reads executed inline after
-//! every earlier write on the connection has been acked.
+//! The server runs over N independent pool shards (grid + backend +
+//! device each; see [`jnvm_kvstore::ShardedKv`]). Connection handlers
+//! never touch the persistent devices for writes. They decode ops, route
+//! each by key hash ([`jnvm_kvstore::shard_for_key`]) to its shard's
+//! bounded queue (backpressure: producers block while that queue is full)
+//! and hold a *ticket* per op. Each shard's committer drains up to
+//! `batch_max` ops from its own queue, runs
+//! [`jnvm_kvstore::commit_writes`] against its own backend (group commit:
+//! 3 fences per group, not per op) and resolves the batch's tickets only
+//! after that call returns — i.e. after the group durability point *and*
+//! the apply phase, so a subsequent GET on the same connection reads its
+//! own writes. K writes spread over N shards pay N *concurrent* fence
+//! passes instead of serializing behind one committer. Handlers release
+//! replies strictly in request order: writes when their ticket resolves,
+//! reads executed inline after every earlier write on the connection has
+//! been acked.
 //!
-//! ## Crash behaviour
+//! ## Crash behaviour: per-shard death
 //!
-//! Every thread that can touch the device runs under
-//! [`jnvm_pmem::catch_crash`]. When the fault-injection engine fires (or a
-//! secondary thread trips over the frozen device), the committer marks the
-//! server dead, fails every queued ticket, and handlers answer
-//! [`Reply::Err`] — never `Ok` — for writes that missed the durability
-//! point. The kill-during-traffic torture checks exactly this contract.
+//! Every thread that can touch a device runs under
+//! [`jnvm_pmem::catch_crash`]. When the fault-injection engine fires on
+//! one shard's device, that shard's committer marks **its shard** dead
+//! and fails every ticket queued there; the other shards keep committing.
+//! A dead shard refuses all further service — writes are answered
+//! [`Reply::Err`] at enqueue, and GETs routed to it answer `Err` too (its
+//! post-crash image may hold unrecovered in-flight state; only the
+//! recovery pass may look at it). Writes that missed their durability
+//! point are never answered `Ok`. The kill-during-traffic torture checks
+//! exactly this contract, including that non-crashed shards keep acking.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -30,8 +41,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use jnvm_kvstore::{commit_writes, encode_record, Backend, DataGrid, JnvmBackend, WriteOp};
-use jnvm_pmem::{catch_crash, Pmem};
+use jnvm_kvstore::{
+    commit_writes, encode_record, shard_for_key, Backend, DataGrid, JnvmBackend, WriteOp,
+};
+use jnvm_pmem::{catch_crash, thread_charged_ns, Pmem, StatsSnapshot};
 use jnvm_ycsb::Histogram;
 
 use crate::proto::{encode_reply, parse_frame, ParseOutcome, Reply, Request};
@@ -39,9 +52,10 @@ use crate::proto::{encode_reply, parse_frame, ParseOutcome, Reply, Request};
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Maximum ops the committer drains into one batch.
+    /// Maximum ops a committer drains into one batch.
     pub batch_max: usize,
-    /// Bounded-queue capacity; producers block (backpressure) beyond it.
+    /// Per-shard bounded-queue capacity; producers block (backpressure)
+    /// beyond it.
     pub queue_cap: usize,
 }
 
@@ -54,6 +68,20 @@ impl Default for ServerConfig {
     }
 }
 
+/// One pool shard's serving surface, handed to [`Server::start_sharded`].
+/// `be` must be the backend `grid` was built over, and `pmem` the device
+/// both live on; all writes to the backend must flow through this server
+/// while it runs (the group committer's exclusive-writer contract, now
+/// per shard).
+pub struct ShardHandle {
+    /// The shard's grid.
+    pub grid: Arc<DataGrid>,
+    /// The shard's backend.
+    pub be: Arc<JnvmBackend>,
+    /// The shard's device.
+    pub pmem: Arc<Pmem>,
+}
+
 /// Counters the server exports (also rendered by STATS).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
@@ -61,14 +89,19 @@ pub struct ServerStats {
     pub acked_writes: u64,
     /// Writes answered `NotFound` (absent SETF/DEL target).
     pub nacked_writes: u64,
-    /// Writes answered `Err` (crash before the durability point).
+    /// Writes answered `Err` (crash before the durability point, or
+    /// routed to an already-dead shard).
     pub failed_writes: u64,
     /// Commit groups issued (3 ordering fences each on the FA path).
     pub groups: u64,
-    /// Batches drained by the committer.
+    /// Batches drained across all committers.
     pub batches: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Pool shards the server runs over.
+    pub shards: u64,
+    /// Shards whose committer died to a (simulated) crash.
+    pub dead_shards: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -76,7 +109,7 @@ enum TicketState {
     Waiting,
     /// Committed and durable; `true` = applied, `false` = target absent.
     Done(bool),
-    /// The server died before this op's durability point.
+    /// The shard died before this op's durability point.
     Failed,
 }
 
@@ -98,17 +131,18 @@ impl Ticket {
         self.cv.notify_all();
     }
 
-    /// Block until resolved. The committer resolves every ticket it ever
-    /// dequeues (including on the crash path), so the timeout loop is only
-    /// a backstop against the server dying between enqueue and dequeue.
-    fn wait(&self, shared: &Shared) -> TicketState {
+    /// Block until resolved. The shard's committer resolves every ticket
+    /// it ever dequeues (including on the crash path), so the timeout
+    /// loop is only a backstop against the shard dying between enqueue
+    /// and dequeue.
+    fn wait(&self, shard: &ShardState) -> TicketState {
         let mut st = self.state.lock().expect("ticket lock");
         loop {
             match *st {
                 TicketState::Waiting => {}
                 resolved => return resolved,
             }
-            if shared.dead.load(Ordering::Acquire) {
+            if shard.dead.load(Ordering::Acquire) {
                 return TicketState::Failed;
             }
             let (g, _) = self
@@ -125,26 +159,51 @@ struct Pending {
     ticket: Arc<Ticket>,
 }
 
-struct Shared {
+/// Per-shard serving state: the stack plus the committer's queue and
+/// crash flag. Each shard's committer owns exactly this shard — the
+/// footprint-disjointness the FA group commit asserts holds trivially
+/// across shards because their devices are disjoint.
+struct ShardState {
     grid: Arc<DataGrid>,
     be: Arc<JnvmBackend>,
     pmem: Arc<Pmem>,
-    cfg: ServerConfig,
     queue: Mutex<VecDeque<Pending>>,
-    /// Committer waits here for work.
+    /// The shard's committer waits here for work.
     queue_cv: Condvar,
     /// Producers wait here for queue space.
     space_cv: Condvar,
-    shutdown: AtomicBool,
+    /// This shard's write path died to a crash.
     dead: AtomicBool,
+    groups: AtomicU64,
+    batches: AtomicU64,
+    /// Modeled device nanoseconds charged to this shard's committer
+    /// thread ([`jnvm_pmem::thread_charged_ns`]), updated after every
+    /// batch — the commit critical path of this shard.
+    charged_ns: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    shards: Vec<ShardState>,
+    shutdown: AtomicBool,
     acked_writes: AtomicU64,
     nacked_writes: AtomicU64,
     failed_writes: AtomicU64,
-    groups: AtomicU64,
-    batches: AtomicU64,
     connections: AtomicU64,
     /// Per-connection write ack-latency histograms, merged at conn close.
     latency: Mutex<Histogram>,
+}
+
+impl Shared {
+    fn route(&self, key: &str) -> usize {
+        shard_for_key(key, self.shards.len())
+    }
+
+    fn all_dead(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.dead.load(Ordering::Acquire))
+    }
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] leaks the
@@ -153,47 +212,66 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    committer: Option<JoinHandle<()>>,
+    committers: Vec<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
-    /// Bind `127.0.0.1:0` (ephemeral port) and start serving `grid`/`be`.
-    /// `be` must be the backend `grid` was built over; all writes to it
-    /// must flow through this server while it runs (the group committer's
-    /// exclusive-writer contract).
+    /// Single-shard convenience wrapper around [`Server::start_sharded`]
+    /// — the degenerate N=1 configuration every pre-sharding caller used.
     pub fn start(
         grid: Arc<DataGrid>,
         be: Arc<JnvmBackend>,
         pmem: Arc<Pmem>,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
+        Server::start_sharded(vec![ShardHandle { grid, be, pmem }], cfg)
+    }
+
+    /// Bind `127.0.0.1:0` (ephemeral port) and start serving the given
+    /// pool shards, spawning one group committer per shard. Keys route to
+    /// shards by [`shard_for_key`]; the handles must be in shard order
+    /// (index `i` serves routing bucket `i`).
+    pub fn start_sharded(
+        handles: Vec<ShardHandle>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(!handles.is_empty(), "the server needs at least one shard");
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
+        let shards: Vec<ShardState> = handles
+            .into_iter()
+            .map(|h| ShardState {
+                grid: h.grid,
+                be: h.be,
+                pmem: h.pmem,
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+                space_cv: Condvar::new(),
+                dead: AtomicBool::new(false),
+                groups: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                charged_ns: AtomicU64::new(0),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            grid,
-            be,
-            pmem,
             cfg,
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
-            space_cv: Condvar::new(),
+            shards,
             shutdown: AtomicBool::new(false),
-            dead: AtomicBool::new(false),
             acked_writes: AtomicU64::new(0),
             nacked_writes: AtomicU64::new(0),
             failed_writes: AtomicU64::new(0),
-            groups: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             latency: Mutex::new(Histogram::new()),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let committer = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || committer_loop(&shared))
-        };
+        let committers = (0..shared.shards.len())
+            .map(|si| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || committer_loop(&shared, si))
+            })
+            .collect();
         let acceptor = {
             let shared = Arc::clone(&shared);
             let handlers = Arc::clone(&handlers);
@@ -203,7 +281,7 @@ impl Server {
             addr,
             shared,
             acceptor: Some(acceptor),
-            committer: Some(committer),
+            committers,
             handlers,
         })
     }
@@ -213,9 +291,17 @@ impl Server {
         self.addr
     }
 
-    /// True after a (simulated) crash killed the write path.
+    /// Number of pool shards served.
+    pub fn num_shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// True after a (simulated) crash killed **any** shard's write path.
     pub fn is_dead(&self) -> bool {
-        self.shared.dead.load(Ordering::Acquire)
+        self.shared
+            .shards
+            .iter()
+            .any(|s| s.dead.load(Ordering::Acquire))
     }
 
     /// True once shutdown was requested (SHUTDOWN frame or [`Server::shutdown`]).
@@ -226,6 +312,17 @@ impl Server {
     /// Snapshot of the server counters.
     pub fn stats(&self) -> ServerStats {
         snapshot(&self.shared)
+    }
+
+    /// Modeled device nanoseconds charged to each shard's committer so
+    /// far, in shard order. The max over shards is the sharded engine's
+    /// commit critical path (all committers run concurrently).
+    pub fn committer_charged_ns(&self) -> Vec<u64> {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.charged_ns.load(Ordering::Acquire))
+            .collect()
     }
 
     /// Merged write ack-latency histogram of all *closed* connections.
@@ -244,19 +341,21 @@ impl Server {
         for h in self.handlers.lock().expect("handlers lock").drain(..) {
             let _ = h.join();
         }
-        if let Some(c) = self.committer.take() {
+        for c in self.committers.drain(..) {
             let _ = c.join();
         }
     }
 }
 
 fn request_shutdown(shared: &Shared) {
-    // Under the queue lock so the committer's empty-queue exit check and
-    // the producers' reject check see a consistent flag.
-    let _q = shared.queue.lock().expect("queue lock");
     shared.shutdown.store(true, Ordering::Release);
-    shared.queue_cv.notify_all();
-    shared.space_cv.notify_all();
+    // Per shard, under its queue lock so the committer's empty-queue exit
+    // check and the producers' reject check see a consistent flag.
+    for shard in &shared.shards {
+        let _q = shard.queue.lock().expect("queue lock");
+        shard.queue_cv.notify_all();
+        shard.space_cv.notify_all();
+    }
 }
 
 fn snapshot(shared: &Shared) -> ServerStats {
@@ -264,9 +363,23 @@ fn snapshot(shared: &Shared) -> ServerStats {
         acked_writes: shared.acked_writes.load(Ordering::Relaxed),
         nacked_writes: shared.nacked_writes.load(Ordering::Relaxed),
         failed_writes: shared.failed_writes.load(Ordering::Relaxed),
-        groups: shared.groups.load(Ordering::Relaxed),
-        batches: shared.batches.load(Ordering::Relaxed),
+        groups: shared
+            .shards
+            .iter()
+            .map(|s| s.groups.load(Ordering::Relaxed))
+            .sum(),
+        batches: shared
+            .shards
+            .iter()
+            .map(|s| s.batches.load(Ordering::Relaxed))
+            .sum(),
         connections: shared.connections.load(Ordering::Relaxed),
+        shards: shared.shards.len() as u64,
+        dead_shards: shared
+            .shards
+            .iter()
+            .filter(|s| s.dead.load(Ordering::Acquire))
+            .count() as u64,
     }
 }
 
@@ -283,30 +396,36 @@ fn acceptor_loop(
         shared.connections.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(shared);
         let h = std::thread::spawn(move || {
-            // A crash point can fire under this thread (a GET against the
-            // frozen device, or the armed op itself): unwind here, mark the
-            // server dead, drop the connection.
+            // Handlers only read, and device reads never trip the
+            // injection engine — but a non-crash panic unwinding through
+            // here must still not silently strand the server, so the
+            // catch stays as a conservative backstop. A crash that does
+            // reach a handler cannot be attributed to one shard: mark
+            // them all dead.
             if catch_crash(|| handle_conn(&shared, stream)).is_err() {
-                shared.dead.store(true, Ordering::Release);
+                for s in &shared.shards {
+                    s.dead.store(true, Ordering::Release);
+                }
             }
         });
         handlers.lock().expect("handlers lock").push(h);
     }
 }
 
-fn committer_loop(shared: &Arc<Shared>) {
+fn committer_loop(shared: &Arc<Shared>, si: usize) {
+    let shard = &shared.shards[si];
     loop {
         let batch: Vec<Pending> = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = shard.queue.lock().expect("queue lock");
             loop {
                 if !q.is_empty() {
                     break;
                 }
-                if shared.shutdown.load(Ordering::Acquire) || shared.dead.load(Ordering::Acquire)
+                if shared.shutdown.load(Ordering::Acquire) || shard.dead.load(Ordering::Acquire)
                 {
                     return;
                 }
-                let (g, _) = shared
+                let (g, _) = shard
                     .queue_cv
                     .wait_timeout(q, Duration::from_millis(50))
                     .expect("queue wait");
@@ -314,43 +433,54 @@ fn committer_loop(shared: &Arc<Shared>) {
             }
             let n = q.len().min(shared.cfg.batch_max);
             let batch: Vec<Pending> = q.drain(..n).collect();
-            shared.space_cv.notify_all();
+            shard.space_cv.notify_all();
             batch
         };
         let ops: Vec<WriteOp> = batch.iter().map(|p| p.op.clone()).collect();
-        match catch_crash(|| commit_writes(&shared.grid, &shared.be, &ops)) {
+        debug_assert!(
+            ops.iter().all(|op| shared.route(op.key()) == si),
+            "op routed to the wrong shard's committer"
+        );
+        match catch_crash(|| commit_writes(&shard.grid, &shard.be, &ops)) {
             Ok(out) => {
                 // The group durability point is behind us: release acks.
-                shared.groups.fetch_add(out.groups as u64, Ordering::Relaxed);
-                shared.batches.fetch_add(1, Ordering::Relaxed);
+                shard.groups.fetch_add(out.groups as u64, Ordering::Relaxed);
+                shard.batches.fetch_add(1, Ordering::Relaxed);
+                shard.charged_ns.store(thread_charged_ns(), Ordering::Release);
                 for (p, ok) in batch.iter().zip(out.results.iter()) {
                     p.ticket.resolve(TicketState::Done(*ok));
                 }
             }
             Err(_) => {
-                // Power failed mid-batch: nothing here reached its
-                // durability point as a group — refuse to ack any of it.
-                shared.dead.store(true, Ordering::Release);
+                // Power failed mid-batch on THIS shard's device: nothing
+                // here reached its durability point as a group — refuse
+                // to ack any of it, and take only this shard down. The
+                // other shards' committers never touch this device and
+                // keep committing.
+                shard.dead.store(true, Ordering::Release);
                 for p in &batch {
                     p.ticket.resolve(TicketState::Failed);
                 }
-                let mut q = shared.queue.lock().expect("queue lock");
+                let mut q = shard.queue.lock().expect("queue lock");
                 for p in q.drain(..) {
                     p.ticket.resolve(TicketState::Failed);
                 }
-                shared.space_cv.notify_all();
+                shard.space_cv.notify_all();
                 return;
             }
         }
     }
 }
 
-/// Enqueue a write, blocking while the queue is full (backpressure).
-fn enqueue(shared: &Shared, op: WriteOp) -> Result<Arc<Ticket>, &'static str> {
-    let mut q = shared.queue.lock().expect("queue lock");
+/// Enqueue a write on its shard, blocking while that shard's queue is
+/// full (backpressure). Returns the ticket and the shard index.
+fn enqueue(shared: &Shared, op: WriteOp) -> Result<(Arc<Ticket>, usize), &'static str> {
+    let si = shared.route(op.key());
+    let shard = &shared.shards[si];
+    let mut q = shard.queue.lock().expect("queue lock");
     loop {
-        if shared.dead.load(Ordering::Acquire) {
-            return Err("server crashed");
+        if shard.dead.load(Ordering::Acquire) {
+            return Err("shard crashed");
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return Err("server shutting down");
@@ -358,7 +488,7 @@ fn enqueue(shared: &Shared, op: WriteOp) -> Result<Arc<Ticket>, &'static str> {
         if q.len() < shared.cfg.queue_cap {
             break;
         }
-        let (g, _) = shared
+        let (g, _) = shard
             .space_cv
             .wait_timeout(q, Duration::from_millis(50))
             .expect("space wait");
@@ -369,24 +499,27 @@ fn enqueue(shared: &Shared, op: WriteOp) -> Result<Arc<Ticket>, &'static str> {
         op,
         ticket: Arc::clone(&ticket),
     });
-    shared.queue_cv.notify_one();
-    Ok(ticket)
+    shard.queue_cv.notify_one();
+    Ok((ticket, si))
 }
 
 fn send(stream: &mut TcpStream, reply: &Reply) -> bool {
     stream.write_all(&encode_reply(reply)).is_ok()
 }
 
-/// Release replies for every outstanding write, in request order. Returns
-/// `false` when the connection (or the server) is done for.
+/// Release replies for every outstanding write, in request order. A
+/// failed ticket (its shard crashed) answers `Err` but does **not** end
+/// the connection: the other shards are still serving, and per-shard
+/// failure isolation is the point of the sharded engine. Returns `false`
+/// only when the connection itself is done for.
 fn flush_outstanding(
     shared: &Shared,
-    outstanding: &mut VecDeque<(Arc<Ticket>, Instant)>,
+    outstanding: &mut VecDeque<(Arc<Ticket>, usize, Instant)>,
     stream: &mut TcpStream,
     hist: &mut Histogram,
 ) -> bool {
-    while let Some((ticket, enqueued)) = outstanding.pop_front() {
-        match ticket.wait(shared) {
+    while let Some((ticket, si, enqueued)) = outstanding.pop_front() {
+        match ticket.wait(&shared.shards[si]) {
             TicketState::Done(true) => {
                 shared.acked_writes.fetch_add(1, Ordering::Relaxed);
                 hist.record(enqueued.elapsed().as_nanos() as u64);
@@ -402,8 +535,9 @@ fn flush_outstanding(
             }
             TicketState::Waiting | TicketState::Failed => {
                 shared.failed_writes.fetch_add(1, Ordering::Relaxed);
-                let _ = send(stream, &Reply::Err("write lost to a crash".into()));
-                return false;
+                if !send(stream, &Reply::Err("write lost to a crash".into())) {
+                    return false;
+                }
             }
         }
     }
@@ -415,7 +549,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut buf: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 16 * 1024];
-    let mut outstanding: VecDeque<(Arc<Ticket>, Instant)> = VecDeque::new();
+    let mut outstanding: VecDeque<(Arc<Ticket>, usize, Instant)> = VecDeque::new();
     let mut hist = Histogram::new();
 
     'conn: loop {
@@ -427,7 +561,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
                 ParseOutcome::Incomplete => break,
                 // Unparseable stream: cut the connection. Whatever writes
                 // are already queued stay queued — they were never acked,
-                // and the committer completes or fails them on its own.
+                // and the committers complete or fail them on their own.
                 ParseOutcome::Malformed(_) => break 'conn,
                 ParseOutcome::Frame(req, n) => (req, n),
             };
@@ -448,12 +582,24 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
                     }
                     let shutdown = matches!(other, Request::Shutdown);
                     let reply = match other {
-                        Request::Get(key) => match shared.grid.read(&key) {
-                            Some(rec) => Reply::Value(encode_record(&rec)),
-                            None => Reply::NotFound,
-                        },
+                        Request::Get(key) => {
+                            let shard = &shared.shards[shared.route(&key)];
+                            if shard.dead.load(Ordering::Acquire) {
+                                // A dead shard's image may hold in-flight
+                                // state only recovery may interpret:
+                                // refuse reads rather than serve it.
+                                Reply::Err("shard crashed".into())
+                            } else {
+                                match shard.grid.read(&key) {
+                                    Some(rec) => Reply::Value(encode_record(&rec)),
+                                    None => Reply::NotFound,
+                                }
+                            }
+                        }
                         Request::Len => {
-                            Reply::Value((shared.grid.len() as u64).to_le_bytes().to_vec())
+                            let total: u64 =
+                                shared.shards.iter().map(|s| s.grid.len() as u64).sum();
+                            Reply::Value(total.to_le_bytes().to_vec())
                         }
                         Request::Stats => Reply::Value(stats_text(shared).into_bytes()),
                         Request::Shutdown => Reply::Ok,
@@ -474,11 +620,12 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
             };
             if let Some(op) = write_op {
                 match enqueue(shared, op) {
-                    Ok(ticket) => outstanding.push_back((ticket, Instant::now())),
+                    Ok((ticket, si)) => outstanding.push_back((ticket, si, Instant::now())),
                     Err(msg) => {
                         if !flush_outstanding(shared, &mut outstanding, &mut stream, &mut hist) {
                             break 'conn;
                         }
+                        shared.failed_writes.fetch_add(1, Ordering::Relaxed);
                         if !send(&mut stream, &Reply::Err(msg.to_string())) {
                             break 'conn;
                         }
@@ -498,8 +645,7 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
             Ok(0) => break 'conn,
             Ok(n) => buf.extend_from_slice(&tmp[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.dead.load(Ordering::Acquire) || shared.shutdown.load(Ordering::Acquire)
-                {
+                if shared.all_dead() || shared.shutdown.load(Ordering::Acquire) {
                     break 'conn;
                 }
             }
@@ -516,21 +662,36 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
 
 fn stats_text(shared: &Shared) -> String {
     let s = snapshot(shared);
-    let g = shared.grid.metrics();
-    let d = shared.pmem.stats();
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut len = 0usize;
+    let mut d = StatsSnapshot::default();
+    for shard in &shared.shards {
+        let g = shard.grid.metrics();
+        reads += g.reads.load(Ordering::Relaxed);
+        writes += g.writes.load(Ordering::Relaxed);
+        hits += g.hits.load(Ordering::Relaxed);
+        misses += g.misses.load(Ordering::Relaxed);
+        len += shard.grid.len();
+        d.absorb(&shard.pmem.stats());
+    }
     let lat = shared.latency.lock().expect("latency lock").summary();
     let acked = s.acked_writes.max(1);
     format!(
-        "backend={}\nlen={}\nreads={}\nwrites={}\nhits={}\nmisses={}\n\
+        "backend={}\nshards={}\ndead_shards={}\nlen={}\nreads={}\nwrites={}\nhits={}\nmisses={}\n\
          acked_writes={}\nnacked_writes={}\nfailed_writes={}\ngroups={}\nbatches={}\nconnections={}\n\
          pwbs={}\npfences={}\npsyncs={}\nordering_points={}\nordering_points_per_acked_write={:.4}\n\
          redundant_pwbs={}\nredundant_fences={}\nsan_violations={}\nack_latency={}\n",
-        shared.be.name(),
-        shared.grid.len(),
-        g.reads.load(Ordering::Relaxed),
-        g.writes.load(Ordering::Relaxed),
-        g.hits.load(Ordering::Relaxed),
-        g.misses.load(Ordering::Relaxed),
+        shared.shards[0].be.name(),
+        s.shards,
+        s.dead_shards,
+        len,
+        reads,
+        writes,
+        hits,
+        misses,
         s.acked_writes,
         s.nacked_writes,
         s.failed_writes,

@@ -1,7 +1,17 @@
 //! Kill-during-traffic: inject a crash point while live loadgen
-//! connections drive the server, then reopen the pool, run recovery, and
-//! hold the server to its word — **every `Ok`-acked write is present,
+//! connections drive the server, then reopen the pool(s), run recovery,
+//! and hold the server to its word — **every `Ok`-acked write is present,
 //! every record is untorn**.
+//!
+//! ## Shard-aware killing
+//!
+//! The server runs over `pool_shards` independent devices. The crash is
+//! armed on **one** shard's device (`crash_shard`); when it fires, that
+//! shard's committer unwinds and the shard goes dead, while the other
+//! shards keep accepting and committing writes — the failure-isolation
+//! contract of the sharded engine. Verification therefore also checks, at
+//! early crash points, that acks kept flowing *after* the first error
+//! reply ([`KillReport::acked_after_first_error`]).
 //!
 //! ## The allowed-states window
 //!
@@ -10,40 +20,46 @@
 //!
 //! * a known op sequence `o_1 .. o_m` (SET, then maybe SETF or DEL), and
 //! * a known *acked prefix*: the first `a` of those ops were answered
-//!   `Ok`. (An error reply closes the connection, so nothing is acked
-//!   after the first failure.)
+//!   `Ok`. (All of one key's ops route to one shard, and a dead shard
+//!   stays dead, so per key nothing is acked after the first failure —
+//!   even though the *connection* keeps going and other shards keep
+//!   acking.)
 //!
-//! Writes commit in per-key order (same stripe ⇒ same queue order ⇒
+//! Writes commit in per-key order (same shard ⇒ same queue order ⇒
 //! later group), so the recovered image must equal the state after some
 //! prefix `o_1 .. o_j` with `a ≤ j ≤ m` — acked ops are a floor, unacked
 //! ones may or may not have reached their durability point, and any
 //! mixture of two states (a half-applied SETF, a torn record) matches no
-//! prefix and fails the check.
+//! prefix and fails the check. Keys on non-crashed shards get the same
+//! check; their floor is simply "everything acked", which is everything
+//! that completed.
 
 use std::sync::Arc;
 
-use jnvm::{JnvmBuilder, RecoveryOptions};
-use jnvm_heap::HeapConfig;
-use jnvm_kvstore::{
-    register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend, Record,
-};
+use jnvm::RecoveryOptions;
+use jnvm_kvstore::{GridConfig, Record, ShardedKv};
 use jnvm_pmem::{silence_crash_panics, FaultPlan, Pmem, PmemConfig};
 
 use crate::loadgen::{key_for, run_loadgen, value_for, LoadReport, LoadgenConfig, OpOutcome};
-use crate::server::{Server, ServerConfig, ServerStats};
+use crate::server::{Server, ServerConfig, ServerStats, ShardHandle};
 
 /// Experiment shape.
 #[derive(Debug, Clone, Copy)]
 pub struct TortureConfig {
     /// Traffic to run while the crash is armed.
     pub load: LoadgenConfig,
-    /// Backend shards.
+    /// Per-pool backend map shards (in-pool sharding; orthogonal to pool
+    /// sharding).
     pub shards: usize,
-    /// Simulated pool size in bytes.
+    /// Independent pool shards (devices), each with its own committer.
+    pub pool_shards: usize,
+    /// Which shard's device the crash is armed on.
+    pub crash_shard: usize,
+    /// Simulated pool size in bytes — per shard.
     pub pool_bytes: u64,
     /// Worker threads for the post-kill recovery pass (`1` is the
     /// sequential oracle; the reopened heap is identical either way —
-    /// see `tests/recovery_equivalence.rs`).
+    /// see `tests/recovery_equivalence.rs` and `tests/sharded_recovery.rs`).
     pub recovery_threads: usize,
     /// Server tunables.
     pub server: ServerConfig,
@@ -54,6 +70,8 @@ impl Default for TortureConfig {
         TortureConfig {
             load: LoadgenConfig::default(),
             shards: 16,
+            pool_shards: 1,
+            crash_shard: 0,
             pool_bytes: 64 << 20,
             recovery_threads: 1,
             server: ServerConfig::default(),
@@ -67,10 +85,15 @@ pub struct KillReport {
     /// Whether the armed point actually fired (points past the end of the
     /// op stream complete the traffic instead; verification still runs).
     pub injected: bool,
-    /// Persistence-relevant device ops counted while armed.
+    /// Persistence-relevant device ops counted while armed (on the crash
+    /// shard's device).
     pub ops_counted: u64,
     /// `Ok`-acked writes across connections.
     pub acked_writes: u64,
+    /// `Ok` outcomes observed *after* a connection's first `Err` reply,
+    /// summed over connections — nonzero means other shards kept
+    /// committing while one lay dead.
+    pub acked_after_first_error: u64,
     /// Keys whose recovered state was checked.
     pub keys_checked: u64,
     /// Server counters at shutdown.
@@ -78,108 +101,116 @@ pub struct KillReport {
 }
 
 struct Ctx {
-    pmem: Arc<Pmem>,
-    grid: Arc<DataGrid>,
-    be: Arc<JnvmBackend>,
-    rt: jnvm::Jnvm,
+    pmems: Vec<Arc<Pmem>>,
+    kv: ShardedKv,
     server: Server,
 }
 
 fn build(cfg: &TortureConfig) -> Ctx {
-    let pmem = Pmem::new(PmemConfig::crash_sim(cfg.pool_bytes));
-    let rt = register_kvstore(JnvmBuilder::new())
-        .create(Arc::clone(&pmem), HeapConfig::default())
-        .expect("create pool");
-    let be = Arc::new(JnvmBackend::create(&rt, cfg.shards.max(1), true).expect("create backend"));
+    let pmems: Vec<Arc<Pmem>> = (0..cfg.pool_shards.max(1))
+        .map(|_| Pmem::new(PmemConfig::crash_sim(cfg.pool_bytes)))
+        .collect();
     // No volatile cache: the J-NVM backends gain nothing from one (§5.3.1)
     // and the verifier wants to read the persistent image, not a cache.
-    let grid = Arc::new(DataGrid::new(
-        Arc::clone(&be) as Arc<dyn Backend>,
-        GridConfig {
-            cache_capacity: 0,
-            ..GridConfig::default()
-        },
-    ));
-    let server = Server::start(
-        Arc::clone(&grid),
-        Arc::clone(&be),
-        Arc::clone(&pmem),
-        cfg.server,
-    )
-    .expect("bind server");
-    Ctx {
-        pmem,
-        grid,
-        be,
-        rt,
-        server,
-    }
+    let grid_cfg = GridConfig {
+        cache_capacity: 0,
+        ..GridConfig::default()
+    };
+    let kv = ShardedKv::create(&pmems, cfg.shards.max(1), true, grid_cfg).expect("create pools");
+    let handles: Vec<ShardHandle> = kv
+        .shards()
+        .iter()
+        .map(|s| ShardHandle {
+            grid: Arc::clone(&s.grid),
+            be: Arc::clone(&s.be),
+            pmem: Arc::clone(&s.pmem),
+        })
+        .collect();
+    let server = Server::start_sharded(handles, cfg.server).expect("bind server");
+    Ctx { pmems, kv, server }
 }
 
-/// Count pass: run the full traffic with the engine counting (never
-/// crashing) and return how many persistence-relevant device ops it
-/// performs — the size of the crash-point space. The interleaving varies
-/// run to run; sweeps over this total are representative, not exact.
+/// Count pass: run the full traffic with the crash shard's device
+/// counting (never crashing) and return how many persistence-relevant ops
+/// it performs — the size of that shard's crash-point space. The
+/// interleaving varies run to run; sweeps over this total are
+/// representative, not exact.
 pub fn traffic_op_count(cfg: &TortureConfig) -> u64 {
     let ctx = build(cfg);
-    ctx.pmem.arm_faults(FaultPlan::count());
+    let crash_dev = Arc::clone(&ctx.pmems[cfg.crash_shard]);
+    crash_dev.arm_faults(FaultPlan::count());
     let _ = run_loadgen(ctx.server.addr(), &cfg.load);
     ctx.server.shutdown();
-    let Ctx {
-        pmem, grid, be, rt, ..
-    } = ctx;
-    drop(grid);
-    drop(be);
-    drop(rt);
-    pmem.disarm_faults()
+    drop(ctx.kv);
+    crash_dev.disarm_faults()
 }
 
-/// One kill-during-traffic experiment: build a fresh pool + server, arm a
-/// crash at `point`, run the load, then reopen + recover and verify the
-/// allowed-states window for every key. Returns `Err` with a description
-/// on any violated invariant.
+/// One kill-during-traffic experiment: build fresh pools + server, arm a
+/// crash at `point` on the crash shard's device, run the load, then
+/// reopen + recover **all** shards and verify the allowed-states window
+/// for every key — including keys on shards that never crashed. Returns
+/// `Err` with a description on any violated invariant.
 pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport, String> {
     silence_crash_panics();
     let ctx = build(cfg);
+    let crash_dev = Arc::clone(&ctx.pmems[cfg.crash_shard]);
     // Armed only now: pool format and server startup are not part of the
     // crash-point space under test.
-    ctx.pmem.arm_faults(FaultPlan::crash_at(point));
+    crash_dev.arm_faults(FaultPlan::crash_at(point));
     let load = run_loadgen(ctx.server.addr(), &cfg.load);
     let stats = ctx.server.stats();
     ctx.server.shutdown();
-    let injected = ctx.pmem.faults_frozen();
-    let Ctx {
-        pmem, grid, be, rt, ..
-    } = ctx;
-    // Dropped while the device is still frozen: unwind destructors must
-    // not repair the crash image (same sequence as faultsim's
+    let injected = crash_dev.faults_frozen();
+    let Ctx { pmems, kv, .. } = ctx;
+    // Dropped while the crash device is still frozen: unwind destructors
+    // must not repair the crash image (same sequence as faultsim's
     // torture_point).
-    drop(grid);
-    drop(be);
-    drop(rt);
-    let ops_counted = pmem.disarm_faults();
+    drop(kv);
+    let ops_counted = crash_dev.disarm_faults();
     if injected {
-        pmem.resync_cache();
+        crash_dev.resync_cache();
     }
 
-    let (rt2, _report) = register_kvstore(JnvmBuilder::new())
-        .open_with_options(
-            Arc::clone(&pmem),
-            RecoveryOptions::parallel(cfg.recovery_threads.max(1)),
-        )
-        .map_err(|e| format!("reopen after crash at point {point}: {e}"))?;
-    let be2 = JnvmBackend::open(&rt2, true)
-        .map_err(|e| format!("backend reopen after crash at point {point}: {e}"))?;
+    let grid_cfg = GridConfig {
+        cache_capacity: 0,
+        ..GridConfig::default()
+    };
+    let (kv2, _reports) = ShardedKv::open(
+        &pmems,
+        true,
+        grid_cfg,
+        RecoveryOptions::parallel(cfg.recovery_threads.max(1)),
+    )
+    .map_err(|e| format!("reopen after crash at point {point}: {e}"))?;
 
-    let keys_checked = verify_allowed_states(&load, cfg, &be2)
+    let keys_checked = verify_allowed_states(&load, cfg, &kv2)
         .map_err(|e| format!("point {point}: {e}"))?;
     Ok(KillReport {
         injected,
         ops_counted,
         acked_writes: load.acked_writes,
+        acked_after_first_error: acked_after_first_error(&load),
         keys_checked,
         server: stats,
     })
+}
+
+/// `Ok` outcomes after each connection's first `Err`, summed. With one
+/// dead shard out of several, connections keep driving the live shards,
+/// so an early crash should leave this well above zero.
+fn acked_after_first_error(load: &LoadReport) -> u64 {
+    let mut total = 0u64;
+    for conn in &load.per_conn {
+        let mut seen_err = false;
+        for o in &conn.outcomes {
+            match o {
+                OpOutcome::Err => seen_err = true,
+                OpOutcome::Ok if seen_err => total += 1,
+                _ => {}
+            }
+        }
+    }
+    total
 }
 
 /// The op indices touching the key created at index `i` (SET always;
@@ -239,12 +270,14 @@ fn state_after(
 fn verify_allowed_states(
     load: &LoadReport,
     cfg: &TortureConfig,
-    be2: &JnvmBackend,
+    kv2: &ShardedKv,
 ) -> Result<u64, String> {
     let mut checked = 0u64;
     for conn in &load.per_conn {
         // Replies are in order: sanity-check the prefix property once per
-        // connection before leaning on it.
+        // connection before leaning on it. (Err replies do NOT end the
+        // connection in the sharded server — only the reply stream's
+        // tail may be silent.)
         let replied = conn.replied();
         if conn.outcomes[replied..]
             .iter()
@@ -271,7 +304,9 @@ fn verify_allowed_states(
             let key = key_for(conn.conn, i);
             // Acked floor: ops answered Ok must be applied. NotFound on
             // this workload's writes would itself be a violation (every
-            // SETF/DEL target exists when issued in order).
+            // SETF/DEL target exists when issued in order). All of a
+            // key's ops route to one shard and a dead shard stays dead,
+            // so the first non-Ok ends the key's acked prefix for good.
             let mut acked = 0;
             for (idx, _) in &ops {
                 match conn.outcomes[*idx] {
@@ -282,7 +317,7 @@ fn verify_allowed_states(
                     _ => break,
                 }
             }
-            let observed = be2.read(&key);
+            let observed = kv2.read(&key);
             let allowed: Vec<Option<Record>> = (acked..=ops.len())
                 .map(|j| state_after(conn.conn, i, &ops, j, cfg))
                 .collect();
@@ -298,9 +333,10 @@ fn verify_allowed_states(
                 return Err(format!(
                     "{key}: recovered state ({got}) matches none of the {} allowed \
                      prefixes (acked floor {acked} of {} ops) — acked write lost or \
-                     record torn",
+                     record torn (shard {})",
                     allowed.len(),
-                    ops.len()
+                    ops.len(),
+                    kv2.route(&key),
                 ));
             }
         }

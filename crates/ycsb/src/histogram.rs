@@ -86,16 +86,23 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64;
+        // q = 0 would give target 0, which the leading *empty* buckets
+        // satisfy (0 >= 0) — selecting a bucket below every sample. The
+        // smallest meaningful rank is the first sample.
+        let target = (((q.clamp(0.0, 1.0)) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (m, subs) in self.buckets.iter().enumerate() {
             for (s, c) in subs.iter().enumerate() {
                 seen += c;
                 if seen >= target {
-                    // Representative value of the bucket: its lower bound.
+                    // Representative value of the bucket: its lower bound,
+                    // clamped to the observed range — the lower bound of a
+                    // sample's bucket can sit below the sample itself (e.g.
+                    // a single 1000 lands in the bucket starting at 992),
+                    // and a quantile below the minimum is nonsense.
                     let base = 1u64 << m;
                     let width = if m < 5 { 1 } else { 1u64 << (m - 5) };
-                    return (base + s as u64 * width).min(self.max.max(1));
+                    return (base + s as u64 * width).clamp(self.min, self.max);
                 }
             }
         }
@@ -233,6 +240,54 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
         assert!(h.quantile(1.0) > 0);
+    }
+
+    #[test]
+    fn quantile_zero_is_the_minimum() {
+        // Regression: target rank 0 used to match the leading empty
+        // bucket and return 1, below every recorded sample.
+        let mut h = Histogram::new();
+        for v in [5_000u64, 9_000, 123_456] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), h.quantile(1e-9));
+        assert!(h.quantile(0.0) >= 4_800, "q=0 must sit at the min bucket");
+        assert!(h.quantile(0.0) <= 5_000);
+    }
+
+    #[test]
+    fn single_sample_quantiles_never_undercut_the_sample() {
+        // Regression: the bucket lower bound for 1000 is 992; every
+        // quantile of a single-sample histogram must be exactly it.
+        let mut h = Histogram::new();
+        h.record(1000);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1000, "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!(s.min_ns, 1000);
+        assert_eq!(s.p50_ns, 1000);
+        assert_eq!(s.max_ns, 1000);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = Histogram::new();
+        for v in [1_000u64, 2_000, 3_000] {
+            h.record(v);
+        }
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), before, "merging an empty histogram in");
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.summary(), before, "merging into an empty histogram");
+        // And empty-into-empty stays a well-formed empty histogram.
+        let mut e2 = Histogram::new();
+        e2.merge(&Histogram::new());
+        assert_eq!(e2.count(), 0);
+        assert_eq!(e2.quantile(0.5), 0);
+        assert_eq!(e2.summary().min_ns, 0);
     }
 
     #[test]

@@ -85,25 +85,47 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives (the [`crate::prop_oneof!`]
-    /// backend).
+    /// Weighted choice between boxed alternatives (the
+    /// [`crate::prop_oneof!`] backend). Unweighted arms get weight 1,
+    /// matching upstream's uniform default.
     pub struct Union<T> {
-        options: Vec<BoxedStrategy<T>>,
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
     }
 
     impl<T> Union<T> {
-        /// Build from at least one alternative.
+        /// Build from at least one equally-likely alternative.
         pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Build from `(weight, strategy)` alternatives; an arm is picked
+        /// with probability `weight / total_weight`.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
             assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
-            Union { options }
+            assert!(
+                options.iter().all(|&(w, _)| w > 0),
+                "prop_oneof! arm weights must be positive"
+            );
+            let total_weight = options.iter().map(|&(w, _)| w as u64).sum();
+            Union {
+                options,
+                total_weight,
+            }
         }
     }
 
     impl<T> Strategy for Union<T> {
         type Value = T;
         fn new_value(&self, rng: &mut TestRng) -> T {
-            let i = rng.random_range(0..self.options.len());
-            self.options[i].new_value(rng)
+            let mut pick = rng.random_range(0..self.total_weight);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.new_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick past total weight")
         }
     }
 
@@ -449,9 +471,15 @@ macro_rules! prop_assume {
     };
 }
 
-/// Uniform choice among strategies of a common value type.
+/// Choice among strategies of a common value type: uniform for plain
+/// arms, or biased via upstream's `weight => strategy` arm syntax.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
     ($($strat:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($strat)),+

@@ -5,6 +5,11 @@
 //!
 //! The default suite runs a time-bounded smoke plus a small strided sweep;
 //! the `--ignored` test widens the sweep for the scheduled torture job.
+//!
+//! The pool-shard count of the torture configs honors `JNVM_SHARDS`
+//! (default 1), so CI runs the same sweeps over the degenerate one-pool
+//! server and the sharded engine; the dedicated sharded tests below pin
+//! the failure-isolation contract at 4 shards regardless.
 
 use std::sync::Arc;
 
@@ -20,6 +25,15 @@ use jnvm_repro::server::{
     TortureConfig,
 };
 
+/// Pool shards for the shared sweeps: `JNVM_SHARDS` or 1.
+fn pool_shards_from_env() -> usize {
+    std::env::var("JNVM_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 fn small_torture() -> TortureConfig {
     TortureConfig {
         load: LoadgenConfig {
@@ -29,6 +43,7 @@ fn small_torture() -> TortureConfig {
             fields: 3,
             value_size: 48,
         },
+        pool_shards: pool_shards_from_env(),
         ..TortureConfig::default()
     }
 }
@@ -144,6 +159,63 @@ fn kill_during_traffic_recovers_in_parallel() {
         }
     }
     assert!(injected >= 2, "sweep barely injected: {injected}/3 points");
+}
+
+/// The headline isolation test: a 4-shard server, crash armed on one
+/// shard's device, fired early in the traffic. The dead shard must refuse
+/// service (its keys answer `Err`), the other three must keep committing
+/// — visible as `Ok` acks *after* connections saw their first error — and
+/// after recovering all four pools every acked write must be present and
+/// untorn, including on the shards that never crashed.
+#[test]
+fn sharded_kill_isolates_the_crashed_shard() {
+    let cfg = TortureConfig {
+        pool_shards: 4,
+        crash_shard: 1,
+        recovery_threads: 2,
+        ..small_torture()
+    };
+    let total = traffic_op_count(&cfg);
+    assert!(total > 200, "crash shard's op stream too small: {total}");
+    // Early point: most of the traffic still ahead when the shard dies.
+    let report = kill_during_traffic(total / 10, &cfg).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.injected, "point {} of {total} must fire", total / 10);
+    assert_eq!(report.server.shards, 4);
+    assert_eq!(
+        report.server.dead_shards, 1,
+        "exactly the crash shard must die; the rest keep serving"
+    );
+    assert!(
+        report.acked_after_first_error > 0,
+        "non-crashed shards must keep acking after the first error reply \
+         ({} acked total)",
+        report.acked_writes
+    );
+    assert!(report.acked_writes > 0);
+    assert!(report.keys_checked > 0);
+}
+
+/// Crash-free sharded traffic: a 4-shard server under the standard load
+/// must ack everything, error nothing, and report per-shard counters that
+/// sum coherently (groups/batches spread over multiple committers).
+#[test]
+fn sharded_server_serves_crash_free_traffic() {
+    let cfg = TortureConfig {
+        pool_shards: 4,
+        ..small_torture()
+    };
+    let report = kill_during_traffic(u64::MAX, &cfg).expect("verification");
+    assert!(!report.injected);
+    assert_eq!(report.server.shards, 4);
+    assert_eq!(report.server.dead_shards, 0);
+    assert_eq!(report.server.failed_writes, 0);
+    assert_eq!(report.acked_after_first_error, 0);
+    assert!(report.acked_writes > 0);
+    assert!(
+        report.server.batches >= 4,
+        "4 committers should each have drained at least one batch: {}",
+        report.server.batches
+    );
 }
 
 /// The wide sweep for the scheduled torture job
