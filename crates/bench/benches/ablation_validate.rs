@@ -22,6 +22,7 @@ fn bench(c: &mut Criterion) {
         mode: SimMode::Performance,
         latency: LatencyProfile::optane_like(),
         sanitize: SanitizeMode::from_env(),
+        label: String::new(),
     });
     let rt = JnvmBuilder::new()
         .register::<Item>()

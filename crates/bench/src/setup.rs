@@ -146,6 +146,7 @@ pub fn make_grid(
                 mode: SimMode::Performance,
                 latency: LatencyProfile::dram(),
                 sanitize: SanitizeMode::from_env(),
+                label: String::new(),
             });
             let be: Arc<dyn Backend> =
                 Arc::new(TmpfsBackend::new(Arc::clone(&pmem), encoded_max, costs));
@@ -162,6 +163,7 @@ pub fn make_grid(
                 mode: SimMode::Performance,
                 latency: lat(optane),
                 sanitize: SanitizeMode::from_env(),
+                label: String::new(),
             });
             let be: Arc<dyn Backend> =
                 Arc::new(FsBackend::new(Arc::clone(&pmem), encoded_max, costs));
@@ -179,6 +181,7 @@ pub fn make_grid(
                 mode: SimMode::Performance,
                 latency: lat(optane),
                 sanitize: SanitizeMode::from_env(),
+                label: String::new(),
             });
             let rt = register_kvstore(JnvmBuilder::new())
                 .create(Arc::clone(&pmem), HeapConfig::default())
@@ -201,6 +204,7 @@ pub fn make_grid(
                 mode: SimMode::Performance,
                 latency: lat(optane),
                 sanitize: SanitizeMode::from_env(),
+                label: String::new(),
             });
             let rt = register_kvstore(JnvmBuilder::new())
                 .create(Arc::clone(&pmem), HeapConfig::default())

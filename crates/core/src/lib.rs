@@ -63,6 +63,7 @@ mod runtime;
 #[macro_use]
 mod macros;
 
+mod replica;
 mod sharded;
 
 pub use error::JnvmError;
@@ -72,6 +73,7 @@ pub use field::PVal;
 pub use object::{PAny, PObject};
 pub use proxy::{Proxy, RawChain};
 pub use recovery::{RecoveryMode, RecoveryOptions, RecoveryReport};
+pub use replica::{divergent_keys, ReplicaSet};
 pub use registry::{ClassOps, ClassRegistry};
 pub use runtime::{Jnvm, JnvmBuilder, JnvmRuntime};
 pub use sharded::ShardedJnvm;

@@ -432,6 +432,111 @@ pub fn sharded_torture_point<Ctx: Sync>(
     outcome
 }
 
+/// What happened in one replicated crash experiment.
+#[derive(Debug, Clone)]
+pub struct ReplicatedTortureOutcome {
+    /// The armed crash point (ops counted on the crash device).
+    pub point: u64,
+    /// Which shard's replica set took the crash.
+    pub crash_shard: usize,
+    /// Which replica of that shard crashed (0 = primary).
+    pub crash_replica: usize,
+    /// The crash device's identity ([`Pmem::label`]), for reports.
+    pub crash_label: String,
+    /// Whether the point fired before the crash device's op stream ended.
+    pub injected: bool,
+    /// Workers unwound by the crash (at most 1 with one worker per shard).
+    pub crashed_workers: usize,
+    /// Workers that ran to completion.
+    pub completed_workers: usize,
+}
+
+/// Run one **replicated** crash experiment: N shards, each owning a
+/// replica set of disjoint devices (`pmems[shard][replica]`; replica 0 is
+/// the primary). The crash is armed on exactly one replica's device; one
+/// worker per shard runs `workload(shard, &ctx)` and drives *all* of its
+/// shard's replicas (the committer model: stream to the backup, commit on
+/// the primary). Only the worker that touches the frozen device unwinds —
+/// across shards that is the isolation contract of
+/// [`sharded_torture_point`]; within a shard it is the caller's failover
+/// logic (promote on a primary crash, degrade on a backup crash) that
+/// decides whether the worker unwinds at all.
+///
+/// Sequence as in the other drivers: workers join (quiesce), the context
+/// is dropped while the crash device is still frozen, the device is
+/// thawed, its cache resynchronized from media if the crash fired, and
+/// only then does `verify(&pmems, &outcome)` run — typically re-opening
+/// the *surviving* replica of the crash shard and asserting that every
+/// acked write is readable and untorn there (acked ⇒ durable on a
+/// survivor), then auditing the crashed image for divergence.
+pub fn replicated_torture_point<Ctx: Sync>(
+    point: u64,
+    plan: FaultPlan,
+    crash_shard: usize,
+    crash_replica: usize,
+    setup: impl FnOnce() -> (Vec<Vec<Arc<Pmem>>>, Ctx),
+    workload: impl Fn(usize, &Ctx) + Sync,
+    verify: impl FnOnce(&[Vec<Arc<Pmem>>], &ReplicatedTortureOutcome),
+) -> ReplicatedTortureOutcome {
+    let (pmems, ctx) = setup();
+    assert!(
+        crash_shard < pmems.len(),
+        "crash shard {crash_shard} out of range ({} shards)",
+        pmems.len()
+    );
+    assert!(
+        crash_replica < pmems[crash_shard].len(),
+        "crash replica {crash_replica} out of range ({} replicas on shard {crash_shard})",
+        pmems[crash_shard].len()
+    );
+    let flat: Vec<&Arc<Pmem>> = pmems.iter().flatten().collect();
+    for i in 0..flat.len() {
+        for j in i + 1..flat.len() {
+            assert!(
+                !Arc::ptr_eq(flat[i], flat[j]),
+                "two replicas share one device — replication claims need disjoint devices"
+            );
+        }
+    }
+    let crash_dev = &pmems[crash_shard][crash_replica];
+    let crash_label = crash_dev.label().to_string();
+    crash_dev.arm_faults(FaultPlan {
+        mode: FaultMode::CrashAt(point),
+        ..plan
+    });
+    let crashed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for shard in 0..pmems.len() {
+            let ctx = &ctx;
+            let workload = &workload;
+            let crashed = &crashed;
+            s.spawn(move || {
+                if catch_crash(|| workload(shard, ctx)).is_err() {
+                    crashed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    let injected = crash_dev.faults_frozen();
+    drop(ctx);
+    crash_dev.disarm_faults();
+    if injected {
+        crash_dev.resync_cache();
+    }
+    let crashed_workers = crashed.load(Ordering::SeqCst);
+    let outcome = ReplicatedTortureOutcome {
+        point,
+        crash_shard,
+        crash_replica,
+        crash_label,
+        injected,
+        crashed_workers,
+        completed_workers: pmems.len() - crashed_workers,
+    };
+    verify(&pmems, &outcome);
+    outcome
+}
+
 /// Evenly strided sample of `0..total` with at most `max_points` elements,
 /// always including the first and last point. Lets long workloads run a
 /// representative sweep by default while keeping the exhaustive sweep
@@ -711,6 +816,71 @@ mod tests {
             "only the crash shard's worker touches the frozen device"
         );
         assert_eq!(outcome.completed_workers, 2);
+    }
+
+    #[test]
+    fn replicated_crash_leaves_backup_ahead_of_primary() {
+        silence_crash_panics();
+        let setup = || {
+            let pmems: Vec<Vec<Arc<Pmem>>> = (0..2)
+                .map(|s| {
+                    (0..2)
+                        .map(|r| {
+                            let role = if r == 0 { "primary" } else { "backup" };
+                            Pmem::new(
+                                PmemConfig::crash_sim(4096).with_label(&format!("s{s}/{role}")),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let ctx = pmems.clone();
+            (pmems, ctx)
+        };
+        // Each shard's worker is a miniature replicated committer: per
+        // line, write + fence the backup first, then the primary.
+        let workload = |s: usize, devs: &Vec<Vec<Arc<Pmem>>>| {
+            for i in 0..8u64 {
+                for dev in [&devs[s][1], &devs[s][0]] {
+                    dev.write_u64(i * 64, i + 1);
+                    dev.pwb(i * 64);
+                    dev.pfence();
+                }
+            }
+        };
+        // Arm the crash on shard 1's PRIMARY, mid-stream.
+        let outcome = replicated_torture_point(
+            7,
+            FaultPlan::count(),
+            1,
+            0,
+            setup,
+            workload,
+            |pmems, outcome| {
+                assert!(outcome.injected);
+                assert_eq!(outcome.crash_label, "s1/primary");
+                // The untouched shard is fully durable on both replicas.
+                for replica in &pmems[0] {
+                    for i in 0..8u64 {
+                        assert_eq!(replica.read_u64(i * 64), i + 1);
+                    }
+                }
+                // On the crash shard, backup-first ordering means the
+                // backup's image is ahead of (or equal to) the primary's
+                // at every slot — the superset-prefix failover relies on.
+                for i in 0..8u64 {
+                    let p = pmems[1][0].read_u64(i * 64);
+                    let b = pmems[1][1].read_u64(i * 64);
+                    assert!(p == 0 || p == i + 1, "torn primary value {p}");
+                    assert!(b == 0 || b == i + 1, "torn backup value {b}");
+                    if p == i + 1 {
+                        assert_eq!(b, i + 1, "backup fell behind the primary at slot {i}");
+                    }
+                }
+            },
+        );
+        assert_eq!(outcome.crashed_workers, 1);
+        assert_eq!(outcome.completed_workers, 1);
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod group;
 mod jnvm_backend;
 mod lru;
 mod pcj;
+mod repl;
 mod sharded;
 mod simfs;
 
@@ -40,6 +41,7 @@ pub use group::{commit_writes, BatchOutcome, WriteOp};
 pub use jnvm_backend::{register_kvstore, JnvmBackend, PRecord};
 pub use lru::{LruCache, ShardedLru};
 pub use pcj::PcjBackend;
+pub use repl::{commit_writes_replicated, ReplLag, ReplicaStack};
 pub use sharded::{shard_for_key, KvShard, ShardedKv};
 pub use simfs::{FsBackend, SimFs, TmpfsBackend};
 

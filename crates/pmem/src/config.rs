@@ -120,6 +120,10 @@ pub struct PmemConfig {
     /// variable, so `JNVM_SANITIZE=strict cargo test` audits every pool
     /// a test creates.
     pub sanitize: SanitizeMode,
+    /// Human-readable device identity (e.g. `"shard0/primary"`), carried
+    /// into crash-plan reports so a multi-device harness can say *which*
+    /// replica's device a fault plan was armed on. Empty by default.
+    pub label: String,
 }
 
 impl PmemConfig {
@@ -131,6 +135,7 @@ impl PmemConfig {
             mode: SimMode::CrashSim,
             latency: LatencyProfile::off(),
             sanitize: SanitizeMode::from_env(),
+            label: String::new(),
         }
     }
 
@@ -141,6 +146,7 @@ impl PmemConfig {
             mode: SimMode::Performance,
             latency: LatencyProfile::off(),
             sanitize: SanitizeMode::from_env(),
+            label: String::new(),
         }
     }
 
@@ -151,12 +157,19 @@ impl PmemConfig {
             mode: SimMode::Performance,
             latency: LatencyProfile::optane_like(),
             sanitize: SanitizeMode::from_env(),
+            label: String::new(),
         }
     }
 
     /// Replace the sanitizer mode (overriding the `JNVM_SANITIZE` default).
     pub fn with_sanitize(mut self, mode: SanitizeMode) -> Self {
         self.sanitize = mode;
+        self
+    }
+
+    /// Attach a device identity label (see [`PmemConfig::label`]).
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
         self
     }
 }

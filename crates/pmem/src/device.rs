@@ -71,6 +71,7 @@ impl CrashSim {
 /// bring their own locking, exactly as Infinispan does in the paper.
 pub struct Pmem {
     size: u64,
+    label: String,
     words: Box<[AtomicU64]>,
     sim: Option<CrashSim>,
     latency: LatencyProfile,
@@ -114,6 +115,7 @@ impl Pmem {
         };
         Arc::new(Pmem {
             size,
+            label: cfg.label,
             words: zeroed_words(nwords),
             sim,
             latency_on: !cfg.latency.is_off(),
@@ -127,6 +129,13 @@ impl Pmem {
     /// Pool size in bytes.
     pub fn len(&self) -> u64 {
         self.size
+    }
+
+    /// The device identity label from [`PmemConfig::with_label`] (empty
+    /// when none was set). Multi-device harnesses use it to report which
+    /// replica's device a crash plan was armed on.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// True only for a zero-sized pool.

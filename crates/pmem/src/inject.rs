@@ -267,13 +267,46 @@ pub fn catch_crash<R>(f: impl FnOnce() -> R) -> Result<R, CrashInjected> {
     }
 }
 
+thread_local! {
+    static HUSHED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII guard: while held, the hook installed by [`silence_crash_panics`]
+/// swallows *every* panic on this thread, not just [`CrashInjected`].
+///
+/// A reader racing the exact instant a device freezes can observe the
+/// crashing writer's abandoned in-DRAM state and trip a data-structure
+/// invariant panic instead of a clean `CrashInjected` — expected in that
+/// window, and the caller catches it, but without this guard the default
+/// hook would print a backtrace for it. No effect unless
+/// `silence_crash_panics` has installed the hook.
+pub struct PanicHush {
+    prev: bool,
+}
+
+/// Hush all panics on the current thread until the guard drops.
+pub fn hush_panics() -> PanicHush {
+    PanicHush {
+        prev: HUSHED.with(|h| h.replace(true)),
+    }
+}
+
+impl Drop for PanicHush {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        HUSHED.with(|h| h.set(prev));
+    }
+}
+
 /// Install a panic hook that stays silent for [`CrashInjected`] unwinds
-/// (sweeps inject hundreds of them) while delegating everything else to
-/// the previously installed hook. Idempotent enough for test setups.
+/// (sweeps inject hundreds of them) and for threads inside a
+/// [`hush_panics`] scope, while delegating everything else to the
+/// previously installed hook. Idempotent enough for test setups.
 pub fn silence_crash_panics() {
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        if info.payload().downcast_ref::<CrashInjected>().is_none() {
+        let crash = info.payload().downcast_ref::<CrashInjected>().is_some();
+        if !crash && !HUSHED.with(|h| h.get()) {
             prev(info);
         }
     }));

@@ -46,7 +46,9 @@ mod stats;
 pub use config::{CrashPolicy, FaultMode, FaultPlan, LatencyProfile, PmemConfig, SimMode};
 pub use device::{Pmem, CACHE_LINE};
 pub use error::PmemError;
-pub use inject::{catch_crash, silence_crash_panics, CrashInjected, FaultOp, TraceRecord};
+pub use inject::{
+    catch_crash, hush_panics, silence_crash_panics, CrashInjected, FaultOp, PanicHush, TraceRecord,
+};
 pub use latency::{spin_ns, thread_charged_ns};
 pub use sanitize::{SanViolation, SanViolationKind, SanitizeMode};
 pub use stats::{PmemStats, StatsSnapshot};

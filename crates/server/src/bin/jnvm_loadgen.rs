@@ -40,11 +40,17 @@ fn load_cfg(args: &Args) -> LoadgenConfig {
 }
 
 fn torture_cfg(args: &Args) -> TortureConfig {
+    // --crash-backup arms the kill on the backup replica; the default
+    // (also spellable --crash-primary) arms it on the primary — the
+    // failover case.
+    let crash_replica = usize::from(args.has("crash-backup"));
     TortureConfig {
         load: load_cfg(args),
         shards: args.get_or("map-shards", 16),
         pool_shards: args.get_or("shards", 1),
+        replicas: args.get_or("replicas", 1),
         crash_shard: args.get_or("crash-shard", 0),
+        crash_replica,
         pool_bytes: args.get_or::<u64>("pool-mb", 64) << 20,
         recovery_threads: args.get_or("recovery-threads", 1),
         server: ServerConfig {
@@ -84,8 +90,16 @@ fn main() {
         match kill_during_traffic(point, &torture_cfg(&args)) {
             Ok(r) => println!(
                 "point {point}: ok (injected={} acked={} acked_after_first_error={} \
+                 promotions={} acked_after_promotion={} degraded={} divergent={} \
                  keys_checked={} ops_counted={})",
-                r.injected, r.acked_writes, r.acked_after_first_error, r.keys_checked,
+                r.injected,
+                r.acked_writes,
+                r.acked_after_first_error,
+                r.promotions,
+                r.acked_after_promotion,
+                r.degraded_shards,
+                r.divergent_keys,
+                r.keys_checked,
                 r.ops_counted
             ),
             Err(e) => {
@@ -106,8 +120,15 @@ fn main() {
             let point = 1 + k * total.max(1) / points.max(1);
             match kill_during_traffic(point, &tcfg) {
                 Ok(r) => println!(
-                    "point {point}: ok (injected={} acked={} after_first_err={} keys={})",
-                    r.injected, r.acked_writes, r.acked_after_first_error, r.keys_checked
+                    "point {point}: ok (injected={} acked={} after_first_err={} \
+                     promotions={} after_promotion={} divergent={} keys={})",
+                    r.injected,
+                    r.acked_writes,
+                    r.acked_after_first_error,
+                    r.promotions,
+                    r.acked_after_promotion,
+                    r.divergent_keys,
+                    r.keys_checked
                 ),
                 Err(e) => {
                     eprintln!("point {point}: FAILED: {e}");

@@ -3,14 +3,21 @@
 //!
 //! ```text
 //! jnvm-server [--pool-mb 256] [--shards 1] [--map-shards 16]
-//!             [--batch-max 64] [--queue-cap 256] [--no-fa]
-//!             [--recovery-threads 1] [--restart-drill]
+//!             [--replicas 1] [--batch-max 64] [--queue-cap 256]
+//!             [--no-fa] [--recovery-threads 1] [--restart-drill]
 //! ```
 //!
 //! `--shards N` opens N independent pools (each `--pool-mb` MiB, with its
 //! own FA manager and group committer); keys route to pools by hash.
 //! `--map-shards` is the per-pool map shard count — the in-pool sharding
 //! that predates multi-pool, orthogonal to routing.
+//!
+//! `--replicas 2` gives every shard a primary *and* a backup pool on
+//! independent devices: each committer streams its group to the backup
+//! over the wire protocol before committing the primary, and only acks
+//! once both are durable. If the primary's device dies the shard
+//! promotes the backup in place and keeps serving; if the backup dies
+//! the shard degrades to solo mode. Both events show in the final STATS.
 //!
 //! Binds an ephemeral localhost port and prints `listening on <addr>`;
 //! drive it with `jnvm-loadgen --addr <addr>` or any client speaking the
@@ -22,7 +29,8 @@
 //! concurrently on top of that); `--restart-drill` exercises it before
 //! serving: the freshly formatted pools are crashed, reopened with an
 //! N-way recovery per shard, and the recovery reports printed, so the
-//! served heaps are *recovered* heaps.
+//! served heaps are *recovered* heaps. With replicas the drill runs on
+//! every replica's pools — a restarted server recovers both sides.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -35,8 +43,9 @@ use jnvm_server::{Args, Server, ServerConfig, ShardHandle};
 fn main() {
     let args = Args::parse();
     let pool_mb: u64 = args.get_or("pool-mb", 256);
-    let pool_shards: usize = args.get_or("shards", 1);
+    let pool_shards: usize = args.get_or::<usize>("shards", 1).max(1);
     let map_shards: usize = args.get_or("map-shards", 16);
+    let replicas: usize = args.get_or::<usize>("replicas", 1).clamp(1, 2);
     let fa = !args.has("no-fa");
     let cfg = ServerConfig {
         batch_max: args.get_or("batch-max", 64),
@@ -44,69 +53,90 @@ fn main() {
     };
     let recovery_threads: usize = args.get_or("recovery-threads", 1);
 
-    let pmems: Vec<Arc<Pmem>> = (0..pool_shards.max(1))
-        .map(|_| Pmem::new(PmemConfig::crash_sim(pool_mb << 20)))
-        .collect();
     // No volatile cache: the J-NVM backends gain nothing from one (§5.3.1).
     let grid_cfg = GridConfig {
         cache_capacity: 0,
         ..GridConfig::default()
     };
-    let mut kv = ShardedKv::create(&pmems, map_shards, fa, grid_cfg).expect("create pools");
 
-    if args.has("restart-drill") {
-        // Crash every fresh pool and serve the *recovered* heaps: the
-        // same reopen path a real restart takes — each shard recovered
-        // concurrently, each with the configured thread count.
-        for s in kv.shards() {
-            s.rt.psync();
+    // One full pool stack per replica; identical shard counts on every
+    // replica mean identical key routing, which is what lets a backup
+    // replay its primary's op stream.
+    let mut kvs: Vec<ShardedKv> = Vec::with_capacity(replicas);
+    let mut by_replica: Vec<Vec<Arc<Pmem>>> = Vec::with_capacity(replicas);
+    for r in 0..replicas {
+        let role = if r == 0 { "primary" } else { "backup" };
+        let pmems: Vec<Arc<Pmem>> = (0..pool_shards)
+            .map(|s| {
+                Pmem::new(PmemConfig::crash_sim(pool_mb << 20).with_label(&format!("s{s}/{role}")))
+            })
+            .collect();
+        let mut kv = ShardedKv::create(&pmems, map_shards, fa, grid_cfg).expect("create pools");
+
+        if args.has("restart-drill") {
+            // Crash every fresh pool and serve the *recovered* heaps: the
+            // same reopen path a real restart takes — each shard recovered
+            // concurrently, each with the configured thread count.
+            for s in kv.shards() {
+                s.rt.psync();
+            }
+            drop(kv);
+            for p in &pmems {
+                p.crash(&CrashPolicy::strict()).expect("simulated power failure");
+            }
+            let (kv2, reports) = ShardedKv::open(
+                &pmems,
+                fa,
+                grid_cfg,
+                RecoveryOptions::parallel(recovery_threads),
+            )
+            .expect("recovery");
+            for (i, report) in reports.iter().enumerate() {
+                println!(
+                    "restart drill replica {r} shard {i}: threads={} replayed={} \
+                     live_objects={} live_blocks={} freed_blocks={} gc={:.3}ms (modeled {:.3}ms)",
+                    report.threads,
+                    report.replayed_logs,
+                    report.live_objects,
+                    report.live_blocks,
+                    report.freed_blocks,
+                    report.gc_time.as_secs_f64() * 1e3,
+                    report.modeled_gc_time().as_secs_f64() * 1e3,
+                );
+            }
+            kv = kv2;
         }
-        drop(kv);
-        for p in &pmems {
-            p.crash(&CrashPolicy::strict()).expect("simulated power failure");
-        }
-        let (kv2, reports) = ShardedKv::open(
-            &pmems,
-            fa,
-            grid_cfg,
-            RecoveryOptions::parallel(recovery_threads),
-        )
-        .expect("recovery");
-        for (i, report) in reports.iter().enumerate() {
-            println!(
-                "restart drill shard {i}: threads={} replayed={} live_objects={} \
-                 live_blocks={} freed_blocks={} gc={:.3}ms (modeled {:.3}ms)",
-                report.threads,
-                report.replayed_logs,
-                report.live_objects,
-                report.live_blocks,
-                report.freed_blocks,
-                report.gc_time.as_secs_f64() * 1e3,
-                report.modeled_gc_time().as_secs_f64() * 1e3,
-            );
-        }
-        kv = kv2;
+
+        by_replica.push(pmems);
+        kvs.push(kv);
     }
 
-    let handles: Vec<ShardHandle> = kv
-        .shards()
-        .iter()
-        .map(|s| ShardHandle {
-            grid: Arc::clone(&s.grid),
-            be: Arc::clone(&s.be),
-            pmem: Arc::clone(&s.pmem),
+    let shard_sets: Vec<Vec<ShardHandle>> = (0..pool_shards)
+        .map(|s| {
+            kvs.iter()
+                .map(|kv| {
+                    let shard = &kv.shards()[s];
+                    ShardHandle {
+                        grid: Arc::clone(&shard.grid),
+                        be: Arc::clone(&shard.be),
+                        pmem: Arc::clone(&shard.pmem),
+                    }
+                })
+                .collect()
         })
         .collect();
-    // The kv stack (notably each shard's runtime) must outlive the
+    // The kv stacks (notably each shard's runtime) must outlive the
     // server: dropping a runtime tears down the heap its backend's
     // proxies point into.
-    let _keepalive = &kv;
+    let _keepalive = &kvs;
 
-    let server = Server::start_sharded(handles, cfg).expect("bind server");
+    let server = Server::start_replicated(shard_sets, cfg).expect("bind server");
     println!("listening on {}", server.addr());
     println!(
-        "pools={}x{} MiB map_shards={} fa={} batch_max={} queue_cap={} recovery_threads={}",
-        pool_shards, pool_mb, map_shards, fa, cfg.batch_max, cfg.queue_cap, recovery_threads
+        "pools={}x{} MiB replicas={} map_shards={} fa={} batch_max={} queue_cap={} \
+         recovery_threads={}",
+        pool_shards, pool_mb, replicas, map_shards, fa, cfg.batch_max, cfg.queue_cap,
+        recovery_threads
     );
 
     while !server.shutdown_requested() && !server.is_dead() {
@@ -115,8 +145,10 @@ fn main() {
     let stats = server.stats();
     server.shutdown();
     let mut d = StatsSnapshot::default();
-    for p in &pmems {
-        d.absorb(&p.stats());
+    for pmems in &by_replica {
+        for p in pmems {
+            d.absorb(&p.stats());
+        }
     }
     println!(
         "acked_writes={} nacked={} failed={} groups={} batches={} conns={} shards={} dead_shards={}",
@@ -129,6 +161,18 @@ fn main() {
         stats.shards,
         stats.dead_shards
     );
+    if replicas > 1 {
+        println!(
+            "replicas={} promotions={} degraded_shards={} acked_after_promotion={} \
+             repl_sent={} repl_acked={}",
+            stats.replicas,
+            stats.promotions,
+            stats.degraded_shards,
+            stats.acked_after_promotion,
+            stats.repl_sent,
+            stats.repl_acked
+        );
+    }
     println!(
         "ordering_points={} per_acked_write={:.4}",
         d.ordering_points(),

@@ -39,14 +39,15 @@
 pub mod args;
 pub mod loadgen;
 pub mod proto;
+pub mod repl;
 pub mod server;
 pub mod torture;
 
 pub use args::Args;
 pub use loadgen::{run_loadgen, ConnReport, LoadReport, LoadgenConfig};
 pub use proto::{
-    encode_reply, encode_request, parse_frame, parse_reply, ParseOutcome, ProtoError, Reply,
-    Request,
+    encode_reply, encode_request, handshake, handshake_proto_error, parse_frame, parse_reply,
+    ParseOutcome, ProtoError, Reply, Request,
 };
 pub use server::{Server, ServerConfig, ServerStats, ShardHandle};
 pub use torture::{kill_during_traffic, traffic_op_count, KillReport, TortureConfig};

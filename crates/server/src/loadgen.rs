@@ -198,6 +198,12 @@ fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
     };
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Connect-time hello: a version mismatch is a typed outcome, not
+    // silence.
+    if let Err(e) = crate::proto::handshake(&mut stream) {
+        report.proto_error = crate::proto::handshake_proto_error(&e);
+        return report;
+    }
 
     let mut window: std::collections::VecDeque<(usize, Instant)> = Default::default();
     let mut rbuf: Vec<u8> = Vec::new();
@@ -220,6 +226,8 @@ fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
                 Reply::Ok => OpOutcome::Ok,
                 Reply::NotFound => OpOutcome::NotFound,
                 Reply::Err(_) => OpOutcome::Err,
+                // Acks belong on the replication link, never to a client.
+                Reply::ReplAck(_) => OpOutcome::Err,
                 Reply::Value(payload) => {
                     // Read-your-writes probe: the GET rides behind this
                     // connection's acked SET, so the payload must match.

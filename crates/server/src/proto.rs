@@ -14,6 +14,15 @@
 //! | 5 | LEN | empty |
 //! | 6 | STATS | empty |
 //! | 7 | SHUTDOWN | empty |
+//! | 8 | REPL_APPLY | `[seq u64][count u32][tagged ops...]` (replication link) |
+//!
+//! Since protocol version 2 every connection opens with a two-byte
+//! **hello** — `[MAGIC, PROTO_VERSION]` — sent by each side before any
+//! frame. A peer speaking another version fails fast with a typed
+//! [`ProtoError::VersionMismatch`] instead of desynchronizing on the
+//! first frame whose opcode it does not know (the REPL frames are
+//! exactly such an extension: a v1 peer would read `REPL_APPLY` as
+//! "unknown op" at best, or misframe the stream at worst).
 //!
 //! Two malformation tiers, exercised by the robustness tests:
 //!
@@ -24,10 +33,14 @@
 //!   the frame boundary is still sound — [`Request::Invalid`], the server
 //!   replies [`Reply::Err`] and keeps the connection.
 
-use jnvm_kvstore::{decode_record, encode_record, Record};
+use jnvm_kvstore::{decode_record, encode_record, Record, WriteOp};
 
 /// First byte of every request frame.
 pub const MAGIC: u8 = 0x4e;
+
+/// Wire-protocol version, exchanged in the connect-time hello. Bumped to
+/// 2 when the REPL frames were added.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Hard cap on a frame body; larger lengths are treated as an attack (a
 /// 4 GiB length word must not cause a 4 GiB buffer).
@@ -46,11 +59,35 @@ const OP_DEL: u8 = 4;
 const OP_LEN: u8 = 5;
 const OP_STATS: u8 = 6;
 const OP_SHUTDOWN: u8 = 7;
+const OP_REPL_APPLY: u8 = 8;
 
 const ST_OK: u8 = 0;
 const ST_VALUE: u8 = 1;
 const ST_NOT_FOUND: u8 = 2;
 const ST_ERR: u8 = 3;
+const ST_REPL_ACK: u8 = 4;
+
+const REPL_OP_SET: u8 = 0;
+const REPL_OP_SETF: u8 = 1;
+const REPL_OP_DEL: u8 = 2;
+
+/// The two-byte hello each side sends at connect time.
+pub fn hello_frame() -> [u8; 2] {
+    [MAGIC, PROTO_VERSION]
+}
+
+/// Validate a peer's hello. A wrong magic byte means the peer is not
+/// speaking this protocol at all; it is reported as a version mismatch
+/// too (`theirs` then carries whatever its second byte was).
+pub fn check_hello(bytes: [u8; 2]) -> Result<(), ProtoError> {
+    if bytes[0] != MAGIC || bytes[1] != PROTO_VERSION {
+        return Err(ProtoError::VersionMismatch {
+            ours: PROTO_VERSION,
+            theirs: bytes[1],
+        });
+    }
+    Ok(())
+}
 
 /// A decoded request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +113,15 @@ pub enum Request {
     Stats,
     /// Orderly shutdown.
     Shutdown,
+    /// Replication link only: apply one commit group on the backup. `seq`
+    /// is the group sequence number the backup echoes in
+    /// [`Reply::ReplAck`] once the group is durable on its device.
+    ReplApply {
+        /// Group sequence number (monotone per link).
+        seq: u64,
+        /// The group's logical ops, in commit order.
+        ops: Vec<WriteOp>,
+    },
     /// Frame was delimited correctly but its body violates a limit or does
     /// not decode; the server answers [`Reply::Err`] and carries on.
     Invalid(&'static str),
@@ -136,6 +182,13 @@ pub fn parse_frame(buf: &[u8]) -> ParseOutcome {
             None => Request::Invalid("record does not decode"),
         },
         OP_SETF => parse_setf(body),
+        OP_REPL_APPLY => match parse_repl_apply(body) {
+            Some(req) => req,
+            // The replication link is server-to-server; a body that does
+            // not decode means the link is corrupt, not that a client
+            // sent a bad record — treat it at frame level and cut it.
+            None => return ParseOutcome::Malformed("repl body does not decode"),
+        },
         OP_LEN => Request::Len,
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
@@ -171,6 +224,118 @@ fn parse_setf(body: &[u8]) -> Request {
     }
 }
 
+fn parse_repl_apply(body: &[u8]) -> Option<Request> {
+    if body.len() < 12 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+    let count = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")) as usize;
+    let mut ops = Vec::with_capacity(count.min(1024));
+    let mut at = 12;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = body.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    let take_u32 = |at: &mut usize| -> Option<usize> {
+        Some(u32::from_le_bytes(take(at, 4)?.try_into().expect("4 bytes")) as usize)
+    };
+    for _ in 0..count {
+        let tag = *take(&mut at, 1)?.first()?;
+        let op = match tag {
+            REPL_OP_SET => {
+                let len = take_u32(&mut at)?;
+                WriteOp::Set(decode_record(take(&mut at, len)?)?)
+            }
+            REPL_OP_SETF => {
+                let field = take_u32(&mut at)?;
+                let keylen = take_u32(&mut at)?;
+                let key = String::from_utf8(take(&mut at, keylen)?.to_vec()).ok()?;
+                let vlen = take_u32(&mut at)?;
+                let value = take(&mut at, vlen)?.to_vec();
+                WriteOp::SetField { key, field, value }
+            }
+            REPL_OP_DEL => {
+                let keylen = take_u32(&mut at)?;
+                WriteOp::Del(String::from_utf8(take(&mut at, keylen)?.to_vec()).ok()?)
+            }
+            _ => return None,
+        };
+        ops.push(op);
+    }
+    if at != body.len() {
+        return None; // trailing garbage inside a framed body
+    }
+    Some(Request::ReplApply { seq, ops })
+}
+
+fn encode_repl_op(op: &WriteOp, out: &mut Vec<u8>) {
+    match op {
+        WriteOp::Set(rec) => {
+            let bytes = encode_record(rec);
+            out.push(REPL_OP_SET);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        WriteOp::SetField { key, field, value } => {
+            out.push(REPL_OP_SETF);
+            out.extend_from_slice(&(*field as u32).to_le_bytes());
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        WriteOp::Del(key) => {
+            out.push(REPL_OP_DEL);
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+        }
+    }
+}
+
+/// Encode one commit group as `REPL_APPLY` frames, chunking so no frame
+/// body exceeds [`MAX_FRAME`]. Returns `(frame bytes, seq)` pairs; `seq`
+/// values are allocated through `next_seq` in send order, so the last
+/// pair's seq is the batch's ack target.
+pub fn encode_repl_apply(
+    ops: &[WriteOp],
+    mut next_seq: impl FnMut() -> u64,
+) -> Vec<(Vec<u8>, u64)> {
+    // Leave generous headroom for the 12-byte repl header + frame header.
+    let budget = MAX_FRAME - 1024;
+    let mut frames = Vec::new();
+    let mut chunk: Vec<u8> = Vec::new();
+    let mut chunk_count = 0u32;
+    let mut flush = |chunk: &mut Vec<u8>, chunk_count: &mut u32| {
+        if *chunk_count == 0 {
+            return;
+        }
+        let seq = next_seq();
+        let mut body = Vec::with_capacity(12 + chunk.len());
+        body.extend_from_slice(&seq.to_le_bytes());
+        body.extend_from_slice(&chunk_count.to_le_bytes());
+        body.append(chunk);
+        let mut frame = Vec::with_capacity(6 + body.len());
+        frame.push(MAGIC);
+        frame.push(OP_REPL_APPLY);
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frames.push((frame, seq));
+        *chunk_count = 0;
+    };
+    for op in ops {
+        let mut enc = Vec::new();
+        encode_repl_op(op, &mut enc);
+        if !chunk.is_empty() && chunk.len() + enc.len() > budget {
+            flush(&mut chunk, &mut chunk_count);
+        }
+        chunk.extend_from_slice(&enc);
+        chunk_count += 1;
+    }
+    flush(&mut chunk, &mut chunk_count);
+    frames
+}
+
 /// Encode a request frame (client side).
 ///
 /// # Panics
@@ -192,6 +357,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Len => (OP_LEN, Vec::new()),
         Request::Stats => (OP_STATS, Vec::new()),
         Request::Shutdown => (OP_SHUTDOWN, Vec::new()),
+        Request::ReplApply { seq, ops } => {
+            let mut b = Vec::new();
+            b.extend_from_slice(&seq.to_le_bytes());
+            b.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for op in ops {
+                encode_repl_op(op, &mut b);
+            }
+            (OP_REPL_APPLY, b)
+        }
         Request::Invalid(m) => panic!("cannot encode Invalid({m})"),
     };
     let mut out = Vec::with_capacity(6 + body.len());
@@ -213,6 +387,9 @@ pub enum Reply {
     NotFound,
     /// Request failed; the payload is a human-readable reason.
     Err(String),
+    /// Replication link only: groups up to this sequence number are
+    /// durable on the backup's device (cumulative).
+    ReplAck(u64),
 }
 
 /// Encode a reply frame (server side).
@@ -222,6 +399,13 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
         Reply::Value(v) => (ST_VALUE, v),
         Reply::NotFound => (ST_NOT_FOUND, &[]),
         Reply::Err(m) => (ST_ERR, m.as_bytes()),
+        Reply::ReplAck(seq) => {
+            let mut out = Vec::with_capacity(13);
+            out.push(ST_REPL_ACK);
+            out.extend_from_slice(&8u32.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            return out;
+        }
     };
     let mut out = Vec::with_capacity(5 + payload.len());
     out.push(status);
@@ -245,6 +429,15 @@ pub enum ProtoError {
     },
     /// The status byte is none of the known reply codes.
     UnknownStatus(u8),
+    /// The connect-time hello carried another protocol version (or no
+    /// recognizable hello at all). Failing here is the point: a v1 peer
+    /// must not get far enough to misframe a v2 stream.
+    VersionMismatch {
+        /// The version this side speaks ([`PROTO_VERSION`]).
+        ours: u8,
+        /// The version byte the peer sent.
+        theirs: u8,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -254,6 +447,10 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "reply too large ({len} B > {MAX_FRAME} B cap)")
             }
             ProtoError::UnknownStatus(s) => write!(f, "unknown reply status {s:#04x}"),
+            ProtoError::VersionMismatch { ours, theirs } => write!(
+                f,
+                "protocol version mismatch: we speak v{ours}, peer sent v{theirs}"
+            ),
         }
     }
 }
@@ -270,7 +467,7 @@ pub fn parse_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, ProtoError> {
     // Status first: on a desynchronized stream the next four bytes are
     // not a length, and "unknown status" is the diagnosis that says so.
     let status = buf[0];
-    if !matches!(status, ST_OK | ST_VALUE | ST_NOT_FOUND | ST_ERR) {
+    if !matches!(status, ST_OK | ST_VALUE | ST_NOT_FOUND | ST_ERR | ST_REPL_ACK) {
         return Err(ProtoError::UnknownStatus(status));
     }
     let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
@@ -286,9 +483,34 @@ pub fn parse_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, ProtoError> {
         ST_VALUE => Reply::Value(payload),
         ST_NOT_FOUND => Reply::NotFound,
         ST_ERR => Reply::Err(String::from_utf8_lossy(&payload).into_owned()),
+        ST_REPL_ACK => {
+            if payload.len() != 8 {
+                return Err(ProtoError::UnknownStatus(status));
+            }
+            Reply::ReplAck(u64::from_le_bytes(payload[..8].try_into().expect("8 bytes")))
+        }
         _ => unreachable!("status validated above"),
     };
     Ok(Some((reply, 5 + len)))
+}
+
+/// Perform the connect-time hello on `stream`: send ours, read the
+/// peer's two bytes, validate. I/O failures surface as `io::Error`; a
+/// well-delivered but mismatched hello is wrapped as
+/// [`ProtoError::VersionMismatch`] inside an `InvalidData` error (the
+/// typed value is recoverable via `downcast_ref::<ProtoError>()`).
+pub fn handshake<S: std::io::Read + std::io::Write>(stream: &mut S) -> std::io::Result<()> {
+    stream.write_all(&hello_frame())?;
+    let mut theirs = [0u8; 2];
+    stream.read_exact(&mut theirs)?;
+    check_hello(theirs)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Pull a typed [`ProtoError`] back out of a [`handshake`] failure, if
+/// the failure was protocol-level rather than I/O-level.
+pub fn handshake_proto_error(e: &std::io::Error) -> Option<ProtoError> {
+    e.get_ref()?.downcast_ref::<ProtoError>().copied()
 }
 
 #[cfg(test)]
@@ -326,12 +548,121 @@ mod tests {
     }
 
     #[test]
+    fn hello_round_trips_and_mismatches_are_typed() {
+        assert_eq!(check_hello(hello_frame()), Ok(()));
+        // A v1 peer: right magic, older version.
+        assert_eq!(
+            check_hello([MAGIC, 1]),
+            Err(ProtoError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs: 1
+            })
+        );
+        // Not our protocol at all.
+        assert!(check_hello([0x47, 0x45]).is_err()); // "GE" of "GET /"
+        let msg = format!(
+            "{}",
+            ProtoError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs: 1
+            }
+        );
+        assert!(msg.contains("v2") && msg.contains("v1"), "{msg}");
+        // The io::Error wrapper keeps the typed value recoverable.
+        // Writing our hello advances the cursor by two; the peer's bytes
+        // sit right behind it.
+        let mut sock = std::io::Cursor::new(vec![0, 0, MAGIC, 1]);
+        let err = handshake(&mut sock).unwrap_err();
+        assert_eq!(
+            handshake_proto_error(&err),
+            Some(ProtoError::VersionMismatch {
+                ours: PROTO_VERSION,
+                theirs: 1
+            })
+        );
+    }
+
+    #[test]
+    fn repl_apply_round_trips_through_the_chunker() {
+        let ops = vec![
+            WriteOp::Set(Record::ycsb("k1", &[b"v1".to_vec(), vec![0u8; 100]])),
+            WriteOp::SetField {
+                key: "k1".into(),
+                field: 1,
+                value: b"patched".to_vec(),
+            },
+            WriteOp::Del("k0".into()),
+        ];
+        let mut seq = 10u64;
+        let frames = encode_repl_apply(&ops, || {
+            seq += 1;
+            seq
+        });
+        assert_eq!(frames.len(), 1, "small batch fits one frame");
+        let (bytes, fseq) = &frames[0];
+        assert_eq!(*fseq, 11);
+        match parse_frame(bytes) {
+            ParseOutcome::Frame(Request::ReplApply { seq, ops: back }, n) => {
+                assert_eq!(seq, 11);
+                assert_eq!(back, ops);
+                assert_eq!(n, bytes.len());
+            }
+            other => panic!("expected ReplApply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_groups_chunk_into_multiple_frames() {
+        // ~40 ops x 48 KiB > MAX_FRAME: must split, preserving op order
+        // and allocating monotone seqs.
+        let ops: Vec<WriteOp> = (0..40)
+            .map(|i| {
+                WriteOp::Set(Record::ycsb(&format!("k{i}"), &[vec![i as u8; 48 << 10]]))
+            })
+            .collect();
+        let mut next = 0u64;
+        let frames = encode_repl_apply(&ops, || {
+            next += 1;
+            next
+        });
+        assert!(frames.len() > 1, "oversized batch must chunk");
+        let mut all: Vec<WriteOp> = Vec::new();
+        let mut last_seq = 0;
+        for (bytes, seq) in &frames {
+            assert!(bytes.len() <= 6 + MAX_FRAME);
+            assert!(*seq > last_seq, "seqs must be monotone");
+            last_seq = *seq;
+            match parse_frame(bytes) {
+                ParseOutcome::Frame(Request::ReplApply { ops, .. }, _) => all.extend(ops),
+                other => panic!("chunk did not parse: {other:?}"),
+            }
+        }
+        assert_eq!(all, ops, "chunking must preserve the op stream");
+    }
+
+    #[test]
+    fn repl_body_garbage_is_frame_level() {
+        // Truncated repl body: claims 3 ops, carries none.
+        let mut body = Vec::new();
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&3u32.to_le_bytes());
+        let mut f = vec![MAGIC, 8];
+        f.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        f.extend_from_slice(&body);
+        assert!(matches!(
+            parse_frame(&f),
+            ParseOutcome::Malformed("repl body does not decode")
+        ));
+    }
+
+    #[test]
     fn reply_round_trips() {
         for r in [
             Reply::Ok,
             Reply::Value(b"abc".to_vec()),
             Reply::NotFound,
             Reply::Err("nope".into()),
+            Reply::ReplAck(0xdead_beef_0042),
         ] {
             let bytes = encode_reply(&r);
             let (back, n) = parse_reply(&bytes).unwrap().unwrap();

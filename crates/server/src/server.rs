@@ -1,5 +1,6 @@
 //! The server: acceptor + per-connection handler threads + one group
-//! committer **per pool shard**.
+//! committer **per pool shard**, each shard optionally backed by a
+//! replica set (`jnvm-repl`).
 //!
 //! ## Sharded write path and the ack barrier
 //!
@@ -20,18 +21,44 @@
 //! reads executed inline after every earlier write on the connection has
 //! been acked.
 //!
-//! ## Crash behaviour: per-shard death
+//! ## Replication: acked ⇒ durable on a surviving replica
+//!
+//! With `--replicas 2` each shard owns a [`jnvm::ReplicaSet`] of two
+//! full stacks on independent devices. The committer streams each drained
+//! batch to the shard's backup endpoint (`REPL_APPLY` frames over a
+//! loopback link; see [`crate::repl`]) **before** committing on the
+//! primary, then waits for the backup's cumulative `REPL_ACK` before
+//! resolving tickets. The backup applies concurrently with the primary's
+//! commit, so the added latency is `max` of the two passes, not their
+//! sum — and send-before-commit means the backup's applied state is
+//! always a superset-prefix of the primary's, which is what makes
+//! failover safe at *every* primary crash point.
+//!
+//! ## Crash behaviour: promote, degrade, or die
 //!
 //! Every thread that can touch a device runs under
-//! [`jnvm_pmem::catch_crash`]. When the fault-injection engine fires on
-//! one shard's device, that shard's committer marks **its shard** dead
-//! and fails every ticket queued there; the other shards keep committing.
-//! A dead shard refuses all further service — writes are answered
-//! [`Reply::Err`] at enqueue, and GETs routed to it answer `Err` too (its
-//! post-crash image may hold unrecovered in-flight state; only the
-//! recovery pass may look at it). Writes that missed their durability
-//! point are never answered `Ok`. The kill-during-traffic torture checks
-//! exactly this contract, including that non-crashed shards keep acking.
+//! [`jnvm_pmem::catch_crash`]. When the fault-injection engine fires on a
+//! replicated shard's **primary**, that shard's committer fails the
+//! in-flight batch and everything queued (none of it was acked), quiesces
+//! the replication link (close + join the endpoint thread — the
+//! exclusive-writer handoff), **promotes** the backup in place and keeps
+//! serving; `acked_after_promotion` counts the proof of life. When the
+//! **backup** dies (its endpoint stops acking), the committer degrades to
+//! solo mode and keeps acking off the primary alone. Only a crash with no
+//! redundancy left kills the shard, PR 6 style: writes are answered
+//! [`Reply::Err`] at enqueue and GETs routed to it answer `Err` too.
+//! Writes that missed their durability point are never answered `Ok`.
+//! The kill-during-traffic torture checks exactly these contracts.
+//!
+//! ## Write accounting
+//!
+//! `acked`/`nacked`/`failed` are counted when the committer *resolves*
+//! each ticket (not when the handler flushes the reply — a send failure
+//! must not lose counts), `queued` when a ticket is created, and
+//! `rejected` when enqueue refuses (dead shard / shutdown). After a full
+//! shutdown every queued ticket is drained and resolved, so
+//! `queued == acked + nacked + failed` — the graceful-shutdown
+//! regression pins this.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -41,13 +68,18 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use jnvm::ReplicaSet;
 use jnvm_kvstore::{
-    commit_writes, encode_record, shard_for_key, Backend, DataGrid, JnvmBackend, WriteOp,
+    commit_writes, encode_record, shard_for_key, Backend, DataGrid, JnvmBackend, ReplLag, WriteOp,
 };
-use jnvm_pmem::{catch_crash, thread_charged_ns, Pmem, StatsSnapshot};
+use jnvm_pmem::{catch_crash, hush_panics, thread_charged_ns, Pmem, StatsSnapshot};
 use jnvm_ycsb::Histogram;
 
-use crate::proto::{encode_reply, parse_frame, ParseOutcome, Reply, Request};
+use crate::proto::{
+    check_hello, encode_repl_apply, encode_reply, hello_frame, parse_frame, parse_reply,
+    ParseOutcome, Reply, Request,
+};
+use crate::repl::start_backup_endpoint;
 
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
@@ -68,30 +100,36 @@ impl Default for ServerConfig {
     }
 }
 
-/// One pool shard's serving surface, handed to [`Server::start_sharded`].
+/// One replica's serving surface (one full stack on its own device).
 /// `be` must be the backend `grid` was built over, and `pmem` the device
 /// both live on; all writes to the backend must flow through this server
-/// while it runs (the group committer's exclusive-writer contract, now
-/// per shard).
+/// while it runs (the group committer's exclusive-writer contract, per
+/// shard — and per replica, via the endpoint handoff).
 pub struct ShardHandle {
-    /// The shard's grid.
+    /// The replica's grid.
     pub grid: Arc<DataGrid>,
-    /// The shard's backend.
+    /// The replica's backend.
     pub be: Arc<JnvmBackend>,
-    /// The shard's device.
+    /// The replica's device.
     pub pmem: Arc<Pmem>,
 }
 
 /// Counters the server exports (also rendered by STATS).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerStats {
-    /// Writes acknowledged `Ok` — each one durable before its reply left.
+    /// Writes acknowledged `Ok` — each one durable before its reply left
+    /// (on *every* live replica of its shard).
     pub acked_writes: u64,
     /// Writes answered `NotFound` (absent SETF/DEL target).
     pub nacked_writes: u64,
-    /// Writes answered `Err` (crash before the durability point, or
-    /// routed to an already-dead shard).
+    /// Writes ticketed but failed by a crash before their durability
+    /// point (in-flight batch or queue-drain on the promotion/death path).
     pub failed_writes: u64,
+    /// Writes that got a ticket at all (acked + nacked + failed once the
+    /// queues drain — the graceful-shutdown invariant).
+    pub queued_writes: u64,
+    /// Writes refused at enqueue (dead shard, or server shutting down).
+    pub rejected_writes: u64,
     /// Commit groups issued (3 ordering fences each on the FA path).
     pub groups: u64,
     /// Batches drained across all committers.
@@ -100,8 +138,21 @@ pub struct ServerStats {
     pub connections: u64,
     /// Pool shards the server runs over.
     pub shards: u64,
-    /// Shards whose committer died to a (simulated) crash.
+    /// Replica stacks across all shards.
+    pub replicas: u64,
+    /// Shards whose write path died with no redundancy left.
     pub dead_shards: u64,
+    /// Backups promoted to primary after a primary crash.
+    pub promotions: u64,
+    /// Replicated shards running solo (backup lost, or post-promotion).
+    pub degraded_shards: u64,
+    /// Writes acked by a shard that has failed over — the liveness
+    /// witness of promotion.
+    pub acked_after_promotion: u64,
+    /// Commit groups handed to backup endpoints.
+    pub repl_sent: u64,
+    /// Commit groups the backups have made durable.
+    pub repl_acked: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -159,20 +210,33 @@ struct Pending {
     ticket: Arc<Ticket>,
 }
 
-/// Per-shard serving state: the stack plus the committer's queue and
-/// crash flag. Each shard's committer owns exactly this shard — the
-/// footprint-disjointness the FA group commit asserts holds trivially
-/// across shards because their devices are disjoint.
-struct ShardState {
+/// One replica's stack inside a shard's [`ReplicaSet`].
+struct ReplicaUnit {
     grid: Arc<DataGrid>,
     be: Arc<JnvmBackend>,
     pmem: Arc<Pmem>,
+}
+
+/// Per-shard serving state: the replica set plus the committer's queue,
+/// replication link and crash flag. Each shard's committer owns exactly
+/// this shard — the footprint-disjointness the FA group commit asserts
+/// holds trivially across shards because their devices are disjoint.
+struct ShardState {
+    set: ReplicaSet<ReplicaUnit>,
+    /// Committer-side replication link to this shard's backup endpoint.
+    /// `None` once solo (never replicated, degraded, or promoted).
+    link: Mutex<Option<TcpStream>>,
+    /// The backup endpoint thread; joined when the link closes — that
+    /// join is the exclusive-writer handoff of the backup's stack.
+    endpoint: Mutex<Option<JoinHandle<()>>>,
+    /// Replication-lag watermark (groups sent vs. backup durability point).
+    lag: ReplLag,
     queue: Mutex<VecDeque<Pending>>,
     /// The shard's committer waits here for work.
     queue_cv: Condvar,
     /// Producers wait here for queue space.
     space_cv: Condvar,
-    /// This shard's write path died to a crash.
+    /// This shard's write path died with no replica left to serve.
     dead: AtomicBool,
     groups: AtomicU64,
     batches: AtomicU64,
@@ -182,6 +246,13 @@ struct ShardState {
     charged_ns: AtomicU64,
 }
 
+impl ShardState {
+    /// The replica currently serving reads and primary commits.
+    fn active(&self) -> &ReplicaUnit {
+        self.set.active()
+    }
+}
+
 struct Shared {
     cfg: ServerConfig,
     shards: Vec<ShardState>,
@@ -189,6 +260,9 @@ struct Shared {
     acked_writes: AtomicU64,
     nacked_writes: AtomicU64,
     failed_writes: AtomicU64,
+    queued_writes: AtomicU64,
+    rejected_writes: AtomicU64,
+    acked_after_promotion: AtomicU64,
     connections: AtomicU64,
     /// Per-connection write ack-latency histograms, merged at conn close.
     latency: Mutex<Histogram>,
@@ -228,23 +302,55 @@ impl Server {
         Server::start_sharded(vec![ShardHandle { grid, be, pmem }], cfg)
     }
 
-    /// Bind `127.0.0.1:0` (ephemeral port) and start serving the given
-    /// pool shards, spawning one group committer per shard. Keys route to
-    /// shards by [`shard_for_key`]; the handles must be in shard order
-    /// (index `i` serves routing bucket `i`).
+    /// Unreplicated sharding: every shard is a singleton replica set.
     pub fn start_sharded(
         handles: Vec<ShardHandle>,
         cfg: ServerConfig,
     ) -> std::io::Result<Server> {
-        assert!(!handles.is_empty(), "the server needs at least one shard");
+        Server::start_replicated(handles.into_iter().map(|h| vec![h]).collect(), cfg)
+    }
+
+    /// Bind `127.0.0.1:0` (ephemeral port) and start serving the given
+    /// pool shards, spawning one group committer per shard. Keys route to
+    /// shards by [`shard_for_key`]; the outer vec must be in shard order
+    /// (index `i` serves routing bucket `i`). Each inner vec is that
+    /// shard's replica set: `[primary]` for solo, `[primary, backup]`
+    /// for replicated (a backup endpoint thread is spawned per backup
+    /// and the committer's link connected before serving starts).
+    pub fn start_replicated(
+        shards: Vec<Vec<ShardHandle>>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        assert!(!shards.is_empty(), "the server needs at least one shard");
+        assert!(
+            shards.iter().all(|r| (1..=2).contains(&r.len())),
+            "each shard takes one primary and at most one backup"
+        );
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let shards: Vec<ShardState> = handles
-            .into_iter()
-            .map(|h| ShardState {
-                grid: h.grid,
-                be: h.be,
-                pmem: h.pmem,
+        let mut states: Vec<ShardState> = Vec::with_capacity(shards.len());
+        for replicas in shards {
+            let mut link = None;
+            let mut endpoint = None;
+            if let Some(backup) = replicas.get(1) {
+                let (stream, handle) =
+                    start_backup_endpoint(Arc::clone(&backup.grid), Arc::clone(&backup.be))?;
+                link = Some(stream);
+                endpoint = Some(handle);
+            }
+            let units: Vec<ReplicaUnit> = replicas
+                .into_iter()
+                .map(|h| ReplicaUnit {
+                    grid: h.grid,
+                    be: h.be,
+                    pmem: h.pmem,
+                })
+                .collect();
+            states.push(ShardState {
+                set: ReplicaSet::new(units),
+                link: Mutex::new(link),
+                endpoint: Mutex::new(endpoint),
+                lag: ReplLag::new(),
                 queue: Mutex::new(VecDeque::new()),
                 queue_cv: Condvar::new(),
                 space_cv: Condvar::new(),
@@ -252,15 +358,18 @@ impl Server {
                 groups: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 charged_ns: AtomicU64::new(0),
-            })
-            .collect();
+            });
+        }
         let shared = Arc::new(Shared {
             cfg,
-            shards,
+            shards: states,
             shutdown: AtomicBool::new(false),
             acked_writes: AtomicU64::new(0),
             nacked_writes: AtomicU64::new(0),
             failed_writes: AtomicU64::new(0),
+            queued_writes: AtomicU64::new(0),
+            rejected_writes: AtomicU64::new(0),
+            acked_after_promotion: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             latency: Mutex::new(Histogram::new()),
         });
@@ -296,7 +405,8 @@ impl Server {
         self.shared.shards.len()
     }
 
-    /// True after a (simulated) crash killed **any** shard's write path.
+    /// True after a (simulated) crash killed **any** shard's write path
+    /// with no replica left to promote.
     pub fn is_dead(&self) -> bool {
         self.shared
             .shards
@@ -330,10 +440,14 @@ impl Server {
         self.shared.latency.lock().expect("latency lock").clone()
     }
 
-    /// Stop accepting, drain queued writes, join every thread.
+    /// Stop accepting, drain queued writes (each queued ticket is acked
+    /// or failed, never silently dropped), join every thread — committers
+    /// close their replication links on exit, which shuts the backup
+    /// endpoints down in turn.
     pub fn shutdown(mut self) {
         request_shutdown(&self.shared);
-        // Unblock the acceptor's blocking accept().
+        // Unblock the acceptor's blocking accept(). No hello follows: the
+        // handler's hello-read loop exits on the shutdown flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
@@ -343,6 +457,11 @@ impl Server {
         }
         for c in self.committers.drain(..) {
             let _ = c.join();
+        }
+        // Committers quiesce their own links; this catches endpoints whose
+        // committer died before the link existed (defensive only).
+        for s in &self.shared.shards {
+            quiesce_link(s);
         }
     }
 }
@@ -363,6 +482,8 @@ fn snapshot(shared: &Shared) -> ServerStats {
         acked_writes: shared.acked_writes.load(Ordering::Relaxed),
         nacked_writes: shared.nacked_writes.load(Ordering::Relaxed),
         failed_writes: shared.failed_writes.load(Ordering::Relaxed),
+        queued_writes: shared.queued_writes.load(Ordering::Relaxed),
+        rejected_writes: shared.rejected_writes.load(Ordering::Relaxed),
         groups: shared
             .shards
             .iter()
@@ -375,12 +496,38 @@ fn snapshot(shared: &Shared) -> ServerStats {
             .sum(),
         connections: shared.connections.load(Ordering::Relaxed),
         shards: shared.shards.len() as u64,
+        replicas: shared.shards.iter().map(|s| s.set.len() as u64).sum(),
         dead_shards: shared
             .shards
             .iter()
             .filter(|s| s.dead.load(Ordering::Acquire))
             .count() as u64,
+        promotions: shared.shards.iter().map(|s| s.set.promotions()).sum(),
+        // Singleton sets are born degraded; only count lost redundancy.
+        degraded_shards: shared
+            .shards
+            .iter()
+            .filter(|s| s.set.len() >= 2 && s.set.is_degraded())
+            .count() as u64,
+        acked_after_promotion: shared.acked_after_promotion.load(Ordering::Relaxed),
+        repl_sent: shared.shards.iter().map(|s| s.lag.sent()).sum(),
+        repl_acked: shared.shards.iter().map(|s| s.lag.acked()).sum(),
     }
+}
+
+/// Run a device read, treating *any* panic as "this replica is crashing".
+///
+/// A GET racing the exact instant a crash point fires can observe the
+/// committer's abandoned in-DRAM state — mid-rehash maps, half-published
+/// entries — and trip a data-structure invariant panic rather than a
+/// clean `CrashInjected`. Both mean the same thing on the read path: the
+/// replica is going down and the request must fail (the next read after
+/// failover lands on the survivor). The catch is a plain `catch_unwind`
+/// so the payload type does not matter, and the thread is hushed so the
+/// expected unwind does not print a backtrace under the torture hook.
+fn read_in_crash_window<R>(f: impl FnOnce() -> R) -> Option<R> {
+    let _hush = hush_panics();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).ok()
 }
 
 fn acceptor_loop(
@@ -396,12 +543,11 @@ fn acceptor_loop(
         shared.connections.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(shared);
         let h = std::thread::spawn(move || {
-            // Handlers only read, and device reads never trip the
-            // injection engine — but a non-crash panic unwinding through
-            // here must still not silently strand the server, so the
-            // catch stays as a conservative backstop. A crash that does
-            // reach a handler cannot be attributed to one shard: mark
-            // them all dead.
+            // Handlers wrap their own device reads in catch_crash and
+            // answer Err, so a crash should never unwind to here — this
+            // catch is a conservative backstop against a non-crash panic
+            // stranding the server. A crash that does reach it cannot be
+            // attributed to one shard: mark them all dead.
             if catch_crash(|| handle_conn(&shared, stream)).is_err() {
                 for s in &shared.shards {
                     s.dead.store(true, Ordering::Release);
@@ -410,6 +556,123 @@ fn acceptor_loop(
         });
         handlers.lock().expect("handlers lock").push(h);
     }
+}
+
+/// Close the committer-side replication link and join the backup endpoint
+/// thread. TCP delivers everything written before the close, so the join
+/// returns only after the endpoint has applied every streamed group and
+/// exited — after this, the caller is the backup stack's only writer.
+/// Idempotent; safe whether the endpoint exited on its own (backup crash)
+/// or is still draining.
+fn quiesce_link(shard: &ShardState) {
+    drop(shard.link.lock().expect("link lock").take());
+    if let Some(h) = shard.endpoint.lock().expect("endpoint lock").take() {
+        let _ = h.join();
+    }
+}
+
+/// Resolve a committed ticket and do the write accounting. Counting at
+/// resolution (not at reply flush) keeps the counters exact even when the
+/// client connection died before its replies could be sent.
+fn resolve_done(shared: &Shared, shard: &ShardState, p: &Pending, ok: bool) {
+    if ok {
+        shared.acked_writes.fetch_add(1, Ordering::Relaxed);
+        if shard.set.promotions() > 0 {
+            shared.acked_after_promotion.fetch_add(1, Ordering::Relaxed);
+        }
+    } else {
+        shared.nacked_writes.fetch_add(1, Ordering::Relaxed);
+    }
+    p.ticket.resolve(TicketState::Done(ok));
+}
+
+fn resolve_failed(shared: &Shared, p: &Pending) {
+    shared.failed_writes.fetch_add(1, Ordering::Relaxed);
+    p.ticket.resolve(TicketState::Failed);
+}
+
+/// Fail the in-flight batch and everything queued behind it — the crash
+/// path's "nothing here was acked" sweep. Every ticket is resolved; none
+/// is silently dropped.
+fn fail_batch_and_queue(shared: &Shared, shard: &ShardState, batch: &[Pending]) {
+    for p in batch {
+        resolve_failed(shared, p);
+    }
+    let mut q = shard.queue.lock().expect("queue lock");
+    for p in q.drain(..) {
+        resolve_failed(shared, &p);
+    }
+    shard.space_cv.notify_all();
+}
+
+/// Stream the batch to the shard's backup endpoint, chunked into
+/// `REPL_APPLY` frames. Returns the last sequence number to await, or
+/// `None` when the shard runs solo. A send failure means the backup is
+/// gone: degrade in place and commit solo from now on.
+fn stream_to_backup(shard: &ShardState, ops: &[WriteOp]) -> Option<u64> {
+    if shard.set.is_degraded() {
+        return None;
+    }
+    let mut guard = shard.link.lock().expect("link lock");
+    let link = guard.as_mut()?;
+    let frames = encode_repl_apply(ops, || shard.lag.next_seq());
+    let last_seq = frames.last().map(|(_, seq)| *seq)?;
+    for (frame, _) in &frames {
+        if link.write_all(frame).is_err() {
+            drop(guard);
+            degrade_backup(shard);
+            return None;
+        }
+    }
+    Some(last_seq)
+}
+
+/// Wait for the backup's durability point to reach `target`. Acks are
+/// cumulative, so one ack may cover several chunks. Returns `false` on
+/// link EOF / error / timeout — the degrade signal.
+fn wait_for_backup(shard: &ShardState, target: u64) -> bool {
+    let mut guard = shard.link.lock().expect("link lock");
+    let Some(link) = guard.as_mut() else {
+        return false;
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4096];
+    while shard.lag.acked() < target {
+        // Drain every complete ack already buffered.
+        let mut progressed = true;
+        while progressed {
+            match parse_reply(&buf) {
+                Ok(Some((Reply::ReplAck(seq), n))) => {
+                    shard.lag.record_acked(seq);
+                    buf.drain(..n);
+                }
+                Ok(Some(_)) | Err(_) => return false,
+                Ok(None) => progressed = false,
+            }
+        }
+        if shard.lag.acked() >= target {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        match link.read(&mut tmp) {
+            Ok(0) => return false,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Backup-side failure: drop the link, join the endpoint, mark the set
+/// degraded. The primary keeps serving solo — nothing acked is lost,
+/// because acks were always gated on the *primary's* durability too.
+fn degrade_backup(shard: &ShardState) {
+    quiesce_link(shard);
+    shard.set.degrade();
 }
 
 fn committer_loop(shared: &Arc<Shared>, si: usize) {
@@ -423,6 +686,11 @@ fn committer_loop(shared: &Arc<Shared>, si: usize) {
                 }
                 if shared.shutdown.load(Ordering::Acquire) || shard.dead.load(Ordering::Acquire)
                 {
+                    // Empty queue + shutdown/death: every ticket this
+                    // shard ever accepted has been resolved. Quiesce the
+                    // replication link so the backup endpoint exits too.
+                    drop(q);
+                    quiesce_link(shard);
                     return;
                 }
                 let (g, _) = shard
@@ -441,31 +709,50 @@ fn committer_loop(shared: &Arc<Shared>, si: usize) {
             ops.iter().all(|op| shared.route(op.key()) == si),
             "op routed to the wrong shard's committer"
         );
-        match catch_crash(|| commit_writes(&shard.grid, &shard.be, &ops)) {
+        // Hand the group to the backup *before* the primary's commit: the
+        // backup applies concurrently (latency = max of the two passes)
+        // and its state stays a superset-prefix of the primary's at every
+        // primary crash point.
+        let ack_target = stream_to_backup(shard, &ops);
+        let active = shard.active();
+        match catch_crash(|| commit_writes(&active.grid, &active.be, &ops)) {
             Ok(out) => {
-                // The group durability point is behind us: release acks.
+                if let Some(target) = ack_target {
+                    if !wait_for_backup(shard, target) {
+                        // Backup died mid-batch. The primary already
+                        // holds the group durably — ack off it alone.
+                        degrade_backup(shard);
+                    }
+                }
+                // The group durability point (on every live replica) is
+                // behind us: release acks.
                 shard.groups.fetch_add(out.groups as u64, Ordering::Relaxed);
                 shard.batches.fetch_add(1, Ordering::Relaxed);
                 shard.charged_ns.store(thread_charged_ns(), Ordering::Release);
                 for (p, ok) in batch.iter().zip(out.results.iter()) {
-                    p.ticket.resolve(TicketState::Done(*ok));
+                    resolve_done(shared, shard, p, *ok);
                 }
             }
             Err(_) => {
-                // Power failed mid-batch on THIS shard's device: nothing
+                // Power failed mid-batch on the active device: nothing
                 // here reached its durability point as a group — refuse
-                // to ack any of it, and take only this shard down. The
+                // to ack any of it.
+                fail_batch_and_queue(shared, shard, &batch);
+                if shard.set.backup().is_some() {
+                    // Failover: quiesce the link (the endpoint finishes
+                    // applying everything streamed, then exits; the join
+                    // makes this committer the backup's only writer),
+                    // promote, keep serving. The frozen primary is never
+                    // touched again.
+                    quiesce_link(shard);
+                    shard.set.promote();
+                    continue;
+                }
+                // No redundancy left: take only this shard down. The
                 // other shards' committers never touch this device and
                 // keep committing.
                 shard.dead.store(true, Ordering::Release);
-                for p in &batch {
-                    p.ticket.resolve(TicketState::Failed);
-                }
-                let mut q = shard.queue.lock().expect("queue lock");
-                for p in q.drain(..) {
-                    p.ticket.resolve(TicketState::Failed);
-                }
-                shard.space_cv.notify_all();
+                quiesce_link(shard);
                 return;
             }
         }
@@ -499,6 +786,7 @@ fn enqueue(shared: &Shared, op: WriteOp) -> Result<(Arc<Ticket>, usize), &'stati
         op,
         ticket: Arc::clone(&ticket),
     });
+    shared.queued_writes.fetch_add(1, Ordering::Relaxed);
     shard.queue_cv.notify_one();
     Ok((ticket, si))
 }
@@ -511,7 +799,9 @@ fn send(stream: &mut TcpStream, reply: &Reply) -> bool {
 /// failed ticket (its shard crashed) answers `Err` but does **not** end
 /// the connection: the other shards are still serving, and per-shard
 /// failure isolation is the point of the sharded engine. Returns `false`
-/// only when the connection itself is done for.
+/// only when the connection itself is done for. Counters are NOT touched
+/// here — the committer counts at ticket resolution, so a dead client
+/// socket cannot skew the accounting.
 fn flush_outstanding(
     shared: &Shared,
     outstanding: &mut VecDeque<(Arc<Ticket>, usize, Instant)>,
@@ -521,20 +811,17 @@ fn flush_outstanding(
     while let Some((ticket, si, enqueued)) = outstanding.pop_front() {
         match ticket.wait(&shared.shards[si]) {
             TicketState::Done(true) => {
-                shared.acked_writes.fetch_add(1, Ordering::Relaxed);
                 hist.record(enqueued.elapsed().as_nanos() as u64);
                 if !send(stream, &Reply::Ok) {
                     return false;
                 }
             }
             TicketState::Done(false) => {
-                shared.nacked_writes.fetch_add(1, Ordering::Relaxed);
                 if !send(stream, &Reply::NotFound) {
                     return false;
                 }
             }
             TicketState::Waiting | TicketState::Failed => {
-                shared.failed_writes.fetch_add(1, Ordering::Relaxed);
                 if !send(stream, &Reply::Err("write lost to a crash".into())) {
                     return false;
                 }
@@ -544,9 +831,38 @@ fn flush_outstanding(
     true
 }
 
+/// Exchange the connect-time hello: send ours, read the client's two
+/// bytes (tolerating the read timeout while waiting), check magic +
+/// version. Returns `false` when the connection must close — mismatch,
+/// socket error, or shutdown arriving before the client's hello (the
+/// shutdown self-connect sends nothing, by design).
+fn exchange_hello(shared: &Shared, stream: &mut TcpStream) -> bool {
+    if stream.write_all(&hello_frame()).is_err() {
+        return false;
+    }
+    let mut theirs = [0u8; 2];
+    let mut got = 0;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while got < 2 {
+        if shared.shutdown.load(Ordering::Acquire) || Instant::now() >= deadline {
+            return false;
+        }
+        match stream.read(&mut theirs[got..]) {
+            Ok(0) => return false,
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return false,
+        }
+    }
+    check_hello(theirs).is_ok()
+}
+
 fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    if !exchange_hello(shared, &mut stream) {
+        return;
+    }
     let mut buf: Vec<u8> = Vec::new();
     let mut tmp = [0u8; 16 * 1024];
     let mut outstanding: VecDeque<(Arc<Ticket>, usize, Instant)> = VecDeque::new();
@@ -590,19 +906,39 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
                                 // refuse reads rather than serve it.
                                 Reply::Err("shard crashed".into())
                             } else {
-                                match shard.grid.read(&key) {
-                                    Some(rec) => Reply::Value(encode_record(&rec)),
-                                    None => Reply::NotFound,
+                                // The active replica can freeze under us
+                                // (crash fired, promotion not done yet):
+                                // catch it here and answer Err — the next
+                                // read after failover lands on the backup.
+                                let unit = shard.active();
+                                match read_in_crash_window(|| unit.grid.read(&key)) {
+                                    Some(Some(rec)) => Reply::Value(encode_record(&rec)),
+                                    Some(None) => Reply::NotFound,
+                                    None => {
+                                        Reply::Err("replica crashed; failing over".into())
+                                    }
                                 }
                             }
                         }
                         Request::Len => {
-                            let total: u64 =
-                                shared.shards.iter().map(|s| s.grid.len() as u64).sum();
-                            Reply::Value(total.to_le_bytes().to_vec())
+                            match read_in_crash_window(|| {
+                                shared
+                                    .shards
+                                    .iter()
+                                    .map(|s| s.active().grid.len() as u64)
+                                    .sum::<u64>()
+                            }) {
+                                Some(total) => Reply::Value(total.to_le_bytes().to_vec()),
+                                None => Reply::Err("replica crashed; failing over".into()),
+                            }
                         }
                         Request::Stats => Reply::Value(stats_text(shared).into_bytes()),
                         Request::Shutdown => Reply::Ok,
+                        // Replication frames belong on the committer ↔
+                        // endpoint link, never on a client connection.
+                        Request::ReplApply { .. } => {
+                            Reply::Err("repl frame on a client connection".into())
+                        }
                         Request::Invalid(m) => Reply::Err(m.to_string()),
                         Request::Set(_) | Request::SetField { .. } | Request::Del(_) => {
                             unreachable!("writes handled above")
@@ -625,7 +961,9 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
                         if !flush_outstanding(shared, &mut outstanding, &mut stream, &mut hist) {
                             break 'conn;
                         }
-                        shared.failed_writes.fetch_add(1, Ordering::Relaxed);
+                        // Refused before a ticket existed — rejected, not
+                        // failed (it never entered the queued population).
+                        shared.rejected_writes.fetch_add(1, Ordering::Relaxed);
                         if !send(&mut stream, &Reply::Err(msg.to_string())) {
                             break 'conn;
                         }
@@ -669,24 +1007,35 @@ fn stats_text(shared: &Shared) -> String {
     let mut len = 0usize;
     let mut d = StatsSnapshot::default();
     for shard in &shared.shards {
-        let g = shard.grid.metrics();
+        let unit = shard.active();
+        let g = unit.grid.metrics();
         reads += g.reads.load(Ordering::Relaxed);
         writes += g.writes.load(Ordering::Relaxed);
         hits += g.hits.load(Ordering::Relaxed);
         misses += g.misses.load(Ordering::Relaxed);
-        len += shard.grid.len();
-        d.absorb(&shard.pmem.stats());
+        if !shard.dead.load(Ordering::Acquire) {
+            len += unit.grid.len();
+        }
+        // Device stats absorb over every replica: replication's fence
+        // cost is real and must show up in ordering_points_per_acked.
+        for i in 0..shard.set.len() {
+            d.absorb(&shard.set.get(i).pmem.stats());
+        }
     }
     let lat = shared.latency.lock().expect("latency lock").summary();
     let acked = s.acked_writes.max(1);
     format!(
-        "backend={}\nshards={}\ndead_shards={}\nlen={}\nreads={}\nwrites={}\nhits={}\nmisses={}\n\
-         acked_writes={}\nnacked_writes={}\nfailed_writes={}\ngroups={}\nbatches={}\nconnections={}\n\
+        "backend={}\nshards={}\nreplicas={}\ndead_shards={}\npromotions={}\ndegraded_shards={}\nlen={}\nreads={}\nwrites={}\nhits={}\nmisses={}\n\
+         acked_writes={}\nnacked_writes={}\nfailed_writes={}\nqueued_writes={}\nrejected_writes={}\nacked_after_promotion={}\n\
+         repl_sent={}\nrepl_acked={}\nrepl_lag={}\ngroups={}\nbatches={}\nconnections={}\n\
          pwbs={}\npfences={}\npsyncs={}\nordering_points={}\nordering_points_per_acked_write={:.4}\n\
          redundant_pwbs={}\nredundant_fences={}\nsan_violations={}\nack_latency={}\n",
-        shared.shards[0].be.name(),
+        shared.shards[0].active().be.name(),
         s.shards,
+        s.replicas,
         s.dead_shards,
+        s.promotions,
+        s.degraded_shards,
         len,
         reads,
         writes,
@@ -695,6 +1044,12 @@ fn stats_text(shared: &Shared) -> String {
         s.acked_writes,
         s.nacked_writes,
         s.failed_writes,
+        s.queued_writes,
+        s.rejected_writes,
+        s.acked_after_promotion,
+        s.repl_sent,
+        s.repl_acked,
+        s.repl_sent.saturating_sub(s.repl_acked),
         s.groups,
         s.batches,
         s.connections,

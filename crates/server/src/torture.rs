@@ -13,26 +13,47 @@
 //! early crash points, that acks kept flowing *after* the first error
 //! reply ([`KillReport::acked_after_first_error`]).
 //!
+//! ## Replicated killing and failover
+//!
+//! With `replicas = 2` every shard owns a primary and a backup stack on
+//! independent devices, and the ack contract strengthens to **acked ⇒
+//! durable on every live replica**. The crash is armed on one replica of
+//! one shard (`crash_replica`; 0 = primary):
+//!
+//! * a **primary** crash makes the shard promote its backup in place and
+//!   resume acking ([`KillReport::promotions`],
+//!   [`KillReport::acked_after_promotion`]); verification re-opens the
+//!   **surviving** replica of each shard and runs the allowed-states
+//!   window there — an acked write missing from the promoted backup is
+//!   exactly the bug this torture exists to catch. The crashed primary's
+//!   image is then audited against the survivor: per key, the backup must
+//!   be *ahead or equal* in the key's op-prefix order (groups stream to
+//!   the backup before the primary's commit), and
+//!   [`KillReport::divergent_keys`] counts where the two images differ.
+//! * a **backup** crash degrades the shard to solo mode; nothing acked is
+//!   lost (acks were always gated on the primary's durability too) and
+//!   verification runs against the primaries.
+//!
 //! ## The allowed-states window
 //!
 //! Traffic is deterministic per `(connection, op index)` and replies come
 //! back in request order, so after the run each key has
 //!
 //! * a known op sequence `o_1 .. o_m` (SET, then maybe SETF or DEL), and
-//! * a known *acked prefix*: the first `a` of those ops were answered
-//!   `Ok`. (All of one key's ops route to one shard, and a dead shard
-//!   stays dead, so per key nothing is acked after the first failure —
-//!   even though the *connection* keeps going and other shards keep
-//!   acking.)
+//! * a known *acked floor*: the last op answered `Ok` and everything a
+//!   later state would imply before it. (Writes commit in per-key order —
+//!   same shard ⇒ same queue order ⇒ later group — so if `o_p` was acked,
+//!   the recovered image must reflect at least `o_1 .. o_p`.)
 //!
-//! Writes commit in per-key order (same shard ⇒ same queue order ⇒
-//! later group), so the recovered image must equal the state after some
-//! prefix `o_1 .. o_j` with `a ≤ j ≤ m` — acked ops are a floor, unacked
-//! ones may or may not have reached their durability point, and any
-//! mixture of two states (a half-applied SETF, a torn record) matches no
-//! prefix and fails the check. Keys on non-crashed shards get the same
-//! check; their floor is simply "everything acked", which is everything
-//! that completed.
+//! The recovered image must equal the state after some prefix `o_1 ..
+//! o_j` with `floor ≤ j ≤ m` — acked ops are a floor, unacked ones may or
+//! may not have reached their durability point, and any mixture of two
+//! states (a half-applied SETF, a torn record) matches no prefix and
+//! fails the check. Keys on non-crashed shards get the same check.
+//! Failover adds one wrinkle: a write that *failed* into the promotion
+//! window may still have applied on the backup (it was streamed before
+//! the primary's crash), so a later op on the same key can legitimately
+//! ack — the floor tracks the last `Ok`, not a contiguous prefix.
 
 use std::sync::Arc;
 
@@ -53,9 +74,13 @@ pub struct TortureConfig {
     pub shards: usize,
     /// Independent pool shards (devices), each with its own committer.
     pub pool_shards: usize,
-    /// Which shard's device the crash is armed on.
+    /// Replicas per shard (1 = unreplicated, 2 = primary + backup).
+    pub replicas: usize,
+    /// Which shard's replica set the crash is armed on.
     pub crash_shard: usize,
-    /// Simulated pool size in bytes — per shard.
+    /// Which replica of that shard crashes (0 = primary, 1 = backup).
+    pub crash_replica: usize,
+    /// Simulated pool size in bytes — per replica.
     pub pool_bytes: u64,
     /// Worker threads for the post-kill recovery pass (`1` is the
     /// sequential oracle; the reopened heap is identical either way —
@@ -71,7 +96,9 @@ impl Default for TortureConfig {
             load: LoadgenConfig::default(),
             shards: 16,
             pool_shards: 1,
+            replicas: 1,
             crash_shard: 0,
+            crash_replica: 0,
             pool_bytes: 64 << 20,
             recovery_threads: 1,
             server: ServerConfig::default(),
@@ -86,74 +113,117 @@ pub struct KillReport {
     /// op stream complete the traffic instead; verification still runs).
     pub injected: bool,
     /// Persistence-relevant device ops counted while armed (on the crash
-    /// shard's device).
+    /// replica's device).
     pub ops_counted: u64,
     /// `Ok`-acked writes across connections.
     pub acked_writes: u64,
     /// `Ok` outcomes observed *after* a connection's first `Err` reply,
-    /// summed over connections — nonzero means other shards kept
-    /// committing while one lay dead.
+    /// summed over connections — nonzero means service continued past the
+    /// crash (other shards, or the crash shard itself after promotion).
     pub acked_after_first_error: u64,
+    /// Backups promoted to primary (server counter).
+    pub promotions: u64,
+    /// Replicated shards running solo at shutdown (server counter).
+    pub degraded_shards: u64,
+    /// Writes acked by a shard that had failed over — the liveness
+    /// witness of promotion (server counter).
+    pub acked_after_promotion: u64,
     /// Keys whose recovered state was checked.
     pub keys_checked: u64,
+    /// Keys on the crash shard whose crashed-primary image differs from
+    /// the survivor's (always an *allowed* divergence — the audit fails
+    /// instead if the backup is ever **behind** the primary).
+    pub divergent_keys: u64,
     /// Server counters at shutdown.
     pub server: ServerStats,
 }
 
 struct Ctx {
-    pmems: Vec<Arc<Pmem>>,
-    kv: ShardedKv,
+    /// `pmems[shard][replica]`; replica 0 is the primary.
+    pmems: Vec<Vec<Arc<Pmem>>>,
+    /// One `ShardedKv` per replica position (so `kvs[r]` owns shard `s`'s
+    /// replica `r` at `kvs[r].shards()[s]`).
+    kvs: Vec<ShardedKv>,
     server: Server,
 }
 
-fn build(cfg: &TortureConfig) -> Ctx {
-    let pmems: Vec<Arc<Pmem>> = (0..cfg.pool_shards.max(1))
-        .map(|_| Pmem::new(PmemConfig::crash_sim(cfg.pool_bytes)))
-        .collect();
+fn grid_cfg() -> GridConfig {
     // No volatile cache: the J-NVM backends gain nothing from one (§5.3.1)
     // and the verifier wants to read the persistent image, not a cache.
-    let grid_cfg = GridConfig {
+    GridConfig {
         cache_capacity: 0,
         ..GridConfig::default()
-    };
-    let kv = ShardedKv::create(&pmems, cfg.shards.max(1), true, grid_cfg).expect("create pools");
-    let handles: Vec<ShardHandle> = kv
-        .shards()
-        .iter()
-        .map(|s| ShardHandle {
-            grid: Arc::clone(&s.grid),
-            be: Arc::clone(&s.be),
-            pmem: Arc::clone(&s.pmem),
-        })
-        .collect();
-    let server = Server::start_sharded(handles, cfg.server).expect("bind server");
-    Ctx { pmems, kv, server }
+    }
 }
 
-/// Count pass: run the full traffic with the crash shard's device
+fn build(cfg: &TortureConfig) -> Ctx {
+    let pool_shards = cfg.pool_shards.max(1);
+    let replicas = cfg.replicas.clamp(1, 2);
+    let mut kvs: Vec<ShardedKv> = Vec::with_capacity(replicas);
+    let mut by_replica: Vec<Vec<Arc<Pmem>>> = Vec::with_capacity(replicas);
+    for r in 0..replicas {
+        let role = if r == 0 { "primary" } else { "backup" };
+        let pmems: Vec<Arc<Pmem>> = (0..pool_shards)
+            .map(|s| {
+                Pmem::new(PmemConfig::crash_sim(cfg.pool_bytes).with_label(&format!("s{s}/{role}")))
+            })
+            .collect();
+        // Identical shard count on every replica ⇒ identical key routing,
+        // which is what lets the backup replay the primary's op stream.
+        let kv =
+            ShardedKv::create(&pmems, cfg.shards.max(1), true, grid_cfg()).expect("create pools");
+        by_replica.push(pmems);
+        kvs.push(kv);
+    }
+    let shard_sets: Vec<Vec<ShardHandle>> = (0..pool_shards)
+        .map(|s| {
+            kvs.iter()
+                .map(|kv| {
+                    let shard = &kv.shards()[s];
+                    ShardHandle {
+                        grid: Arc::clone(&shard.grid),
+                        be: Arc::clone(&shard.be),
+                        pmem: Arc::clone(&shard.pmem),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let server = Server::start_replicated(shard_sets, cfg.server).expect("bind server");
+    let pmems: Vec<Vec<Arc<Pmem>>> = (0..pool_shards)
+        .map(|s| by_replica.iter().map(|r| Arc::clone(&r[s])).collect())
+        .collect();
+    Ctx { pmems, kvs, server }
+}
+
+/// Count pass: run the full traffic with the crash replica's device
 /// counting (never crashing) and return how many persistence-relevant ops
-/// it performs — the size of that shard's crash-point space. The
+/// it performs — the size of that device's crash-point space. The
 /// interleaving varies run to run; sweeps over this total are
 /// representative, not exact.
 pub fn traffic_op_count(cfg: &TortureConfig) -> u64 {
     let ctx = build(cfg);
-    let crash_dev = Arc::clone(&ctx.pmems[cfg.crash_shard]);
+    let crash_dev = Arc::clone(&ctx.pmems[cfg.crash_shard][cfg.crash_replica.min(cfg.replicas.max(1) - 1)]);
     crash_dev.arm_faults(FaultPlan::count());
     let _ = run_loadgen(ctx.server.addr(), &cfg.load);
     ctx.server.shutdown();
-    drop(ctx.kv);
+    drop(ctx.kvs);
     crash_dev.disarm_faults()
 }
 
 /// One kill-during-traffic experiment: build fresh pools + server, arm a
-/// crash at `point` on the crash shard's device, run the load, then
-/// reopen + recover **all** shards and verify the allowed-states window
-/// for every key — including keys on shards that never crashed. Returns
-/// `Err` with a description on any violated invariant.
+/// crash at `point` on the chosen replica's device, run the load, then
+/// reopen + recover the **surviving** replica of every shard and verify
+/// the allowed-states window for every key — including keys on shards
+/// that never crashed. After a primary kill the crashed image is also
+/// audited for divergence against the survivor. Returns `Err` with a
+/// description on any violated invariant.
 pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport, String> {
     silence_crash_panics();
+    let replicas = cfg.replicas.clamp(1, 2);
+    let crash_replica = cfg.crash_replica.min(replicas - 1);
     let ctx = build(cfg);
-    let crash_dev = Arc::clone(&ctx.pmems[cfg.crash_shard]);
+    let crash_dev = Arc::clone(&ctx.pmems[cfg.crash_shard][crash_replica]);
     // Armed only now: pool format and server startup are not part of the
     // crash-point space under test.
     crash_dev.arm_faults(FaultPlan::crash_at(point));
@@ -161,43 +231,101 @@ pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport
     let stats = ctx.server.stats();
     ctx.server.shutdown();
     let injected = crash_dev.faults_frozen();
-    let Ctx { pmems, kv, .. } = ctx;
+    let Ctx { pmems, kvs, .. } = ctx;
     // Dropped while the crash device is still frozen: unwind destructors
     // must not repair the crash image (same sequence as faultsim's
     // torture_point).
-    drop(kv);
+    drop(kvs);
     let ops_counted = crash_dev.disarm_faults();
     if injected {
         crash_dev.resync_cache();
     }
 
-    let grid_cfg = GridConfig {
-        cache_capacity: 0,
-        ..GridConfig::default()
-    };
+    // The survivor view: after a primary kill the crash shard's backup is
+    // what promotion left serving; every other shard (and every shard on
+    // a backup kill) survives on its primary.
+    let promoted = injected && replicas > 1 && crash_replica == 0;
+    let survivors: Vec<Arc<Pmem>> = pmems
+        .iter()
+        .enumerate()
+        .map(|(s, reps)| {
+            let r = if promoted && s == cfg.crash_shard { 1 } else { 0 };
+            Arc::clone(&reps[r])
+        })
+        .collect();
     let (kv2, _reports) = ShardedKv::open(
-        &pmems,
+        &survivors,
         true,
-        grid_cfg,
+        grid_cfg(),
         RecoveryOptions::parallel(cfg.recovery_threads.max(1)),
     )
-    .map_err(|e| format!("reopen after crash at point {point}: {e}"))?;
+    .map_err(|e| format!("reopen survivors after crash at point {point}: {e}"))?;
 
-    let keys_checked = verify_allowed_states(&load, cfg, &kv2)
+    let (keys_checked, crash_shard_keys) = verify_allowed_states(&load, cfg, &kv2)
         .map_err(|e| format!("point {point}: {e}"))?;
+    drop(kv2);
+
+    // Divergence audit of the crashed primary against the survivor it
+    // handed over to.
+    let mut divergent = 0u64;
+    if promoted {
+        let crashed = vec![Arc::clone(&pmems[cfg.crash_shard][0])];
+        let (pkv, _r) = ShardedKv::open(
+            &crashed,
+            true,
+            grid_cfg(),
+            RecoveryOptions::parallel(cfg.recovery_threads.max(1)),
+        )
+        .map_err(|e| format!("reopen crashed primary after point {point}: {e}"))?;
+        for k in &crash_shard_keys {
+            let p_state = pkv.read(&k.key);
+            let candidates: Vec<Option<Record>> = (0..=k.ops.len())
+                .map(|j| state_after(k.conn, k.i, &k.ops, j, cfg))
+                .collect();
+            let j_p: Vec<usize> = (0..candidates.len())
+                .filter(|j| candidates[*j] == p_state)
+                .collect();
+            let j_b: Vec<usize> = (0..candidates.len())
+                .filter(|j| candidates[*j] == k.survivor)
+                .collect();
+            let (Some(&p_min), Some(&b_max)) = (j_p.first(), j_b.last()) else {
+                return Err(format!(
+                    "point {point}: {}: crashed-primary state matches no op prefix \
+                     (torn image survived recovery)",
+                    k.key
+                ));
+            };
+            if p_min > b_max {
+                return Err(format!(
+                    "point {point}: {}: promoted backup (prefix ≤ {b_max}) is BEHIND the \
+                     crashed primary (prefix ≥ {p_min}) — groups must reach the backup first",
+                    k.key
+                ));
+            }
+            if p_state != k.survivor {
+                divergent += 1;
+            }
+        }
+    }
+
     Ok(KillReport {
         injected,
         ops_counted,
         acked_writes: load.acked_writes,
         acked_after_first_error: acked_after_first_error(&load),
+        promotions: stats.promotions,
+        degraded_shards: stats.degraded_shards,
+        acked_after_promotion: stats.acked_after_promotion,
         keys_checked,
+        divergent_keys: divergent,
         server: stats,
     })
 }
 
 /// `Ok` outcomes after each connection's first `Err`, summed. With one
-/// dead shard out of several, connections keep driving the live shards,
-/// so an early crash should leave this well above zero.
+/// dead shard out of several — or a shard failing over to its backup —
+/// connections keep getting acks, so an early crash should leave this
+/// well above zero.
 fn acked_after_first_error(load: &LoadReport) -> u64 {
     let mut total = 0u64;
     for conn in &load.per_conn {
@@ -238,6 +366,16 @@ enum KeyOp {
     Del,
 }
 
+/// One crash-shard key's identity and survivor-side recovered state,
+/// retained for the post-verification divergence audit.
+struct AuditKey {
+    key: String,
+    conn: usize,
+    i: usize,
+    ops: Vec<(usize, KeyOp)>,
+    survivor: Option<Record>,
+}
+
 /// The record state after applying the first `j` ops of `key_ops(i)`.
 fn state_after(
     conn: usize,
@@ -266,13 +404,15 @@ fn state_after(
 }
 
 /// Check every key of every connection against its allowed-states window.
-/// Returns the number of keys checked.
+/// Returns the number of keys checked and the crash-shard keys with their
+/// survivor-side states (for the divergence audit).
 fn verify_allowed_states(
     load: &LoadReport,
     cfg: &TortureConfig,
     kv2: &ShardedKv,
-) -> Result<u64, String> {
+) -> Result<(u64, Vec<AuditKey>), String> {
     let mut checked = 0u64;
+    let mut audit: Vec<AuditKey> = Vec::new();
     for conn in &load.per_conn {
         // Replies are in order: sanity-check the prefix property once per
         // connection before leaning on it. (Err replies do NOT end the
@@ -302,23 +442,31 @@ fn verify_allowed_states(
             };
             checked += 1;
             let key = key_for(conn.conn, i);
-            // Acked floor: ops answered Ok must be applied. NotFound on
-            // this workload's writes would itself be a violation (every
-            // SETF/DEL target exists when issued in order). All of a
-            // key's ops route to one shard and a dead shard stays dead,
-            // so the first non-Ok ends the key's acked prefix for good.
-            let mut acked = 0;
-            for (idx, _) in &ops {
+            // Acked floor: an op answered Ok is durable, and writes apply
+            // in per-key order, so the image must reflect at least every
+            // op up to the LAST acked one. (With failover, an op that
+            // failed into the promotion window may have applied on the
+            // backup anyway — so a later op on the same key can
+            // legitimately ack, and the floor is the last Ok, not a
+            // contiguous prefix.) NotFound on a follow-up write is
+            // legitimate only when the key's SET was itself not acked.
+            let mut floor = 0;
+            for (pos, (idx, _)) in ops.iter().enumerate() {
                 match conn.outcomes[*idx] {
-                    OpOutcome::Ok => acked += 1,
-                    OpOutcome::NotFound => {
-                        return Err(format!("{key}: write op {idx} unexpectedly NotFound"));
+                    OpOutcome::Ok => floor = pos + 1,
+                    OpOutcome::NotFound
+                        if pos > 0 && conn.outcomes[ops[0].0] == OpOutcome::Ok =>
+                    {
+                        return Err(format!(
+                            "{key}: write op {idx} answered NotFound although the \
+                             key's SET was acked"
+                        ));
                     }
-                    _ => break,
+                    _ => {}
                 }
             }
             let observed = kv2.read(&key);
-            let allowed: Vec<Option<Record>> = (acked..=ops.len())
+            let allowed: Vec<Option<Record>> = (floor..=ops.len())
                 .map(|j| state_after(conn.conn, i, &ops, j, cfg))
                 .collect();
             if !allowed.contains(&observed) {
@@ -332,14 +480,23 @@ fn verify_allowed_states(
                 };
                 return Err(format!(
                     "{key}: recovered state ({got}) matches none of the {} allowed \
-                     prefixes (acked floor {acked} of {} ops) — acked write lost or \
+                     prefixes (acked floor {floor} of {} ops) — acked write lost or \
                      record torn (shard {})",
                     allowed.len(),
                     ops.len(),
                     kv2.route(&key),
                 ));
             }
+            if kv2.route(&key) == cfg.crash_shard {
+                audit.push(AuditKey {
+                    key,
+                    conn: conn.conn,
+                    i,
+                    ops,
+                    survivor: observed,
+                });
+            }
         }
     }
-    Ok(checked)
+    Ok((checked, audit))
 }

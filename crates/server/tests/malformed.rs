@@ -36,9 +36,10 @@ fn start_server() -> (Server, Arc<Pmem>) {
 }
 
 fn connect(server: &Server) -> TcpStream {
-    let s = TcpStream::connect(server.addr()).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
     s.set_nodelay(true).unwrap();
     s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    jnvm_server::handshake(&mut s).expect("hello");
     s
 }
 
@@ -99,6 +100,45 @@ fn garbage_magic_closes_connection_without_damage() {
     assert_eq!(grid_len(&mut s, &mut buf), 1, "acked record survives");
     set_record(&mut s, &mut buf, "after-garbage");
     assert_eq!(grid_len(&mut s, &mut buf), 2, "next connection serves fine");
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_at_hello_closes_before_any_service() {
+    let (server, _pmem) = start_server();
+    {
+        // A well-meaning v1 client: right magic, older protocol version.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut server_hello = [0u8; 2];
+        s.read_exact(&mut server_hello).unwrap();
+        assert_eq!(server_hello, [0x4e, 2], "server announces v2");
+        s.write_all(&[0x4e, 1]).unwrap();
+        // The server closes without serving; a SET after the bad hello
+        // gets no reply, just EOF.
+        let _ = s.write_all(&encode_request(&Request::Set(Record::ycsb(
+            "v1-write",
+            &[b"x".to_vec()],
+        ))));
+        let mut tmp = [0u8; 64];
+        assert_eq!(s.read(&mut tmp).unwrap_or(0), 0, "server must close");
+    }
+    {
+        // Not our protocol at all: garbage instead of a hello.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(&[0xff; 32]).unwrap();
+        let mut tmp = [0u8; 64];
+        // Skip the server's own hello, then expect EOF.
+        let _ = s.read(&mut tmp);
+        assert_eq!(s.read(&mut tmp).unwrap_or(0), 0, "server must close");
+    }
+    // Neither bad peer hurt the store; a v2 client gets clean service.
+    let mut s = connect(&server);
+    let mut buf = Vec::new();
+    assert_eq!(grid_len(&mut s, &mut buf), 0, "nothing leaked in");
+    set_record(&mut s, &mut buf, "after-mismatch");
+    assert_eq!(grid_len(&mut s, &mut buf), 1);
     server.shutdown();
 }
 

@@ -19,12 +19,16 @@ use std::sync::Arc;
 
 use jnvm_repro::faultsim;
 use jnvm_repro::heap::HeapConfig;
-use jnvm_repro::jnvm::{commit_phase, persistent_class, Jnvm, JnvmBuilder, RecoveryReport};
-use jnvm_repro::jpdt::register_jpdt;
+use jnvm_repro::jnvm::{
+    commit_phase, persistent_class, Jnvm, JnvmBuilder, PObject, RecoveryReport,
+};
+use jnvm_repro::jpdt::{register_jpdt, PBytes, PI64SkipMap};
 use jnvm_repro::kvstore::{
     register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend, Record,
 };
-use jnvm_repro::pmem::{catch_crash, CrashPolicy, FaultPlan, Pmem, PmemConfig};
+use jnvm_repro::pmem::{
+    catch_crash, CrashPolicy, FaultPlan, Pmem, PmemConfig, SanitizeMode,
+};
 
 use proptest::prelude::*;
 
@@ -348,6 +352,169 @@ fn grid_insert_rmw_survives_every_crash_point() {
         grid_setup,
         grid_workload,
         |pmem, report| grid_verify(blocks_pre, blocks_post, pmem, report.point),
+    );
+    assert!(summary.points_crashed > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Workload 4: the jpdt skip-list's publish paths — insert a new key,
+// overwrite an existing key's value slot, remove a key — swept with the
+// persist-ordering sanitizer in Strict mode. The map's value slot is a
+// ref slot (recovery GC chases it), so values are published `PBytes`
+// addresses, never raw integers.
+// ---------------------------------------------------------------------------
+
+struct SkCtx {
+    rt: Jnvm,
+    m: PI64SkipMap,
+}
+
+/// Fresh strict-sanitized pool with a skip-list of three published keys,
+/// synced: the deterministic S0 image every sweep instance starts from.
+fn sk_setup() -> (Arc<Pmem>, SkCtx) {
+    let pmem = Pmem::new(PmemConfig::crash_sim(4 << 20).with_sanitize(SanitizeMode::Strict));
+    let rt = register_jpdt(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .expect("pool");
+    let m = PI64SkipMap::new(&rt).expect("map");
+    rt.root_put("sk", &m).expect("root");
+    for k in [10i64, 20, 30] {
+        let v = PBytes::new(&rt, format!("init-{k}").as_bytes()).expect("blob");
+        m.put(k, v.addr()).expect("put");
+    }
+    pmem.psync();
+    (pmem, SkCtx { rt, m })
+}
+
+/// The publish paths under test, in program order: insert key 25 (fresh
+/// tower), overwrite key 20's value slot (old blob freed), remove key 30
+/// (tower unlink, blob freed). `upto` truncates the sequence so the same
+/// code builds the crash-free baseline for every prefix.
+fn sk_mutations(ctx: &SkCtx, upto: usize) {
+    let SkCtx { rt, m } = ctx;
+    if upto >= 1 {
+        let v = PBytes::new(rt, b"ins-25").expect("blob");
+        m.put(25, v.addr()).expect("insert");
+    }
+    if upto >= 2 {
+        let v = PBytes::new(rt, b"upd-20").expect("blob");
+        if let Some(old) = m.put(20, v.addr()).expect("update") {
+            rt.free_addr(old);
+        }
+        rt.pmem().pfence();
+    }
+    if upto >= 3 {
+        if let Some(old) = m.remove(&30) {
+            rt.free_addr(old);
+        }
+        rt.pmem().pfence();
+    }
+}
+
+fn sk_workload(ctx: &SkCtx) {
+    sk_mutations(ctx, 3);
+}
+
+fn sk_reopen(pmem: &Arc<Pmem>) -> (Jnvm, RecoveryReport) {
+    register_jpdt(JnvmBuilder::new())
+        .open(Arc::clone(pmem))
+        .expect("recovery")
+}
+
+/// Recovered map image as ordered `(key, value bytes)` pairs.
+fn sk_state(rt: &Jnvm) -> Vec<(i64, Vec<u8>)> {
+    let m = rt
+        .root_get_as::<PI64SkipMap>("sk")
+        .expect("typed")
+        .expect("map survived");
+    m.keys(16)
+        .into_iter()
+        .map(|k| {
+            let addr = m.get(&k).expect("published key holds a value ref");
+            (k, PBytes::resurrect(rt, addr).to_vec())
+        })
+        .collect()
+}
+
+/// A crash-free reference image: the map state plus its block budget.
+type SkBaseline = (Vec<(i64, Vec<u8>)>, u64);
+
+/// Crash-free `(state, live_blocks)` images after each mutation prefix,
+/// S0 (setup only) through S3 (full workload).
+fn sk_baselines() -> Vec<SkBaseline> {
+    (0..=3)
+        .map(|upto| {
+            let (pmem, ctx) = sk_setup();
+            sk_mutations(&ctx, upto);
+            drop(ctx);
+            pmem.crash(&CrashPolicy::strict()).expect("crash");
+            let (rt, report) = sk_reopen(&pmem);
+            (sk_state(&rt), report.live_blocks)
+        })
+        .collect()
+}
+
+/// A recovered image must equal exactly one mutation prefix — a torn
+/// tower, a half-updated value slot, or a half-unlinked key matches none
+/// — and carry that prefix's block budget (no leaked blobs, towers, or
+/// in-flight allocations).
+fn sk_verify(baselines: &[SkBaseline], pmem: &Arc<Pmem>, point: u64) {
+    let (rt, report) = sk_reopen(pmem);
+    let state = sk_state(&rt);
+    let hit = baselines
+        .iter()
+        .find(|(s, _)| *s == state)
+        .unwrap_or_else(|| {
+            panic!(
+                "crash point {point}: recovered skip-list state matches no \
+                 mutation prefix: {state:?}"
+            )
+        });
+    assert_eq!(
+        report.live_blocks,
+        hit.1,
+        "crash point {point}: leaked or lost blocks (keys {:?})",
+        state.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
+}
+
+/// Default sweep: a representative stride over the skip-list publish
+/// paths, sanitizer strict (the exhaustive version runs behind
+/// `--ignored`).
+#[test]
+fn skiplist_publish_paths_survive_strided_crash_points() {
+    let baselines = sk_baselines();
+    // The four prefixes are pairwise distinct, so a recovered state
+    // identifies its prefix — and its block budget — unambiguously.
+    for i in 0..baselines.len() {
+        for j in i + 1..baselines.len() {
+            assert_ne!(baselines[i].0, baselines[j].0, "prefixes {i} and {j} collide");
+        }
+    }
+    let total = faultsim::count_ops(sk_setup, sk_workload);
+    let points = faultsim::strided_points(total, 48);
+    let summary = faultsim::sweep(
+        points,
+        FaultPlan::count(),
+        sk_setup,
+        sk_workload,
+        |pmem, report| sk_verify(&baselines, pmem, report.point),
+    );
+    assert!(summary.points_crashed > 0);
+    assert_eq!(summary.points_completed, 0);
+}
+
+/// Exhaustive version: every crash point of the skip-list publish paths.
+/// Slow; run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "exhaustive sweep; run with --ignored"]
+fn skiplist_publish_paths_survive_every_crash_point() {
+    let baselines = sk_baselines();
+    let summary = faultsim::sweep_all(
+        FaultPlan::count(),
+        sk_setup,
+        sk_workload,
+        |pmem, report| sk_verify(&baselines, pmem, report.point),
     );
     assert!(summary.points_crashed > 0);
 }

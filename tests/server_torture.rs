@@ -7,22 +7,27 @@
 //! the `--ignored` test widens the sweep for the scheduled torture job.
 //!
 //! The pool-shard count of the torture configs honors `JNVM_SHARDS`
-//! (default 1), so CI runs the same sweeps over the degenerate one-pool
-//! server and the sharded engine; the dedicated sharded tests below pin
-//! the failure-isolation contract at 4 shards regardless.
+//! (default 1) and the replica count honors `JNVM_REPLICAS` (default 1,
+//! max 2), so CI runs the same sweeps over the degenerate one-pool
+//! server, the sharded engine, and the replicated engine; the dedicated
+//! sharded/replicated tests below pin their contracts at fixed counts
+//! regardless.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use jnvm_repro::faultsim::strided_points;
 use jnvm_repro::heap::HeapConfig;
 use jnvm_repro::jnvm::JnvmBuilder;
 use jnvm_repro::kvstore::{
-    register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend,
+    register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend, Record,
 };
 use jnvm_repro::pmem::{Pmem, PmemConfig};
 use jnvm_repro::server::{
-    kill_during_traffic, run_loadgen, traffic_op_count, LoadgenConfig, Server, ServerConfig,
-    TortureConfig,
+    encode_request, handshake, kill_during_traffic, parse_reply, run_loadgen, traffic_op_count,
+    LoadgenConfig, Reply, Request, Server, ServerConfig, TortureConfig,
 };
 
 /// Pool shards for the shared sweeps: `JNVM_SHARDS` or 1.
@@ -31,6 +36,15 @@ fn pool_shards_from_env() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Replicas per shard for the shared sweeps: `JNVM_REPLICAS` or 1.
+fn pool_replicas_from_env() -> usize {
+    std::env::var("JNVM_REPLICAS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| (1..=2).contains(&n))
         .unwrap_or(1)
 }
 
@@ -44,6 +58,7 @@ fn small_torture() -> TortureConfig {
             value_size: 48,
         },
         pool_shards: pool_shards_from_env(),
+        replicas: pool_replicas_from_env(),
         ..TortureConfig::default()
     }
 }
@@ -171,6 +186,9 @@ fn kill_during_traffic_recovers_in_parallel() {
 fn sharded_kill_isolates_the_crashed_shard() {
     let cfg = TortureConfig {
         pool_shards: 4,
+        // Unreplicated on purpose: with a backup the shard would promote
+        // instead of dying — that contract has its own test below.
+        replicas: 1,
         crash_shard: 1,
         recovery_threads: 2,
         ..small_torture()
@@ -218,6 +236,176 @@ fn sharded_server_serves_crash_free_traffic() {
     );
 }
 
+/// The headline failover test: a replicated 2-shard server, crash armed
+/// on shard 0's **primary** device, fired early. The shard must promote
+/// its backup in place — no dead shard — and keep acking on the
+/// survivor; the recovery verifier then holds every `Ok`-acked write to
+/// be present and untorn on the promoted backup, and audits the crashed
+/// primary's image against it (the backup may only ever be *ahead*).
+#[test]
+fn failover_promotes_backup_and_keeps_acking() {
+    let cfg = TortureConfig {
+        pool_shards: 2,
+        replicas: 2,
+        crash_shard: 0,
+        recovery_threads: 2,
+        ..small_torture()
+    };
+    let total = traffic_op_count(&cfg);
+    assert!(total > 200, "primary's op stream too small: {total}");
+    let report = kill_during_traffic(total / 10, &cfg).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.injected, "point {} of {total} must fire", total / 10);
+    assert_eq!(report.server.replicas, 4, "2 shards x 2 replica stacks");
+    assert_eq!(report.promotions, 1, "exactly one promotion");
+    assert!(
+        report.acked_after_promotion > 0,
+        "the promoted shard must keep acking (liveness witness)"
+    );
+    assert_eq!(
+        report.server.dead_shards, 0,
+        "failover must keep every shard alive"
+    );
+    assert_eq!(
+        report.degraded_shards, 1,
+        "the promoted shard runs solo afterwards"
+    );
+    assert!(report.acked_after_first_error > 0);
+    assert!(report.keys_checked > 0);
+}
+
+/// A **backup** crash is invisible to clients: the shard degrades to
+/// solo mode on the primary, keeps acking (acks were always gated on the
+/// primary's durability too), and nothing acked is lost — verified
+/// against the primaries.
+#[test]
+fn backup_crash_degrades_shard_to_solo() {
+    let cfg = TortureConfig {
+        pool_shards: 2,
+        replicas: 2,
+        crash_shard: 1,
+        crash_replica: 1,
+        recovery_threads: 2,
+        ..small_torture()
+    };
+    let total = traffic_op_count(&cfg);
+    assert!(total > 100, "backup's op stream too small: {total}");
+    let report = kill_during_traffic(total / 4, &cfg).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.injected, "point {} of {total} must fire", total / 4);
+    assert_eq!(report.promotions, 0, "a backup crash must never promote");
+    assert_eq!(report.degraded_shards, 1);
+    assert_eq!(report.server.dead_shards, 0);
+    assert_eq!(report.divergent_keys, 0, "no failover, no divergence audit");
+    assert!(report.acked_writes > 0);
+    assert!(report.keys_checked > 0);
+}
+
+/// Small strided failover sweep for the default suite: crash the primary
+/// at several points across its op stream; every point must verify.
+#[test]
+fn replicated_kill_strided_sweep() {
+    let cfg = TortureConfig {
+        replicas: 2,
+        ..small_torture()
+    };
+    let total = traffic_op_count(&cfg);
+    let mut injected = 0;
+    for point in strided_points(total, 4) {
+        let report = kill_during_traffic(point, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        if report.injected {
+            injected += 1;
+        }
+    }
+    assert!(injected >= 2, "sweep barely injected: {injected}/4 points");
+}
+
+/// Graceful shutdown must drain the committer queue: a connection with a
+/// burst of pipelined, unread SETs gets **every** reply (acked or
+/// failed — never silently dropped) when another connection shuts the
+/// server down, and the write accounting stays exact:
+/// `queued == acked + nacked + failed`.
+#[test]
+fn graceful_shutdown_drains_every_queued_ticket() {
+    const BURST: usize = 200;
+    let pmem = Pmem::new(PmemConfig::crash_sim(128 << 20));
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .unwrap();
+    let be = Arc::new(JnvmBackend::create(&rt, 8, true).unwrap());
+    let grid = Arc::new(DataGrid::new(
+        Arc::clone(&be) as Arc<dyn Backend>,
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    ));
+    let server = Server::start(
+        grid,
+        be,
+        Arc::clone(&pmem),
+        ServerConfig {
+            batch_max: 16,
+            queue_cap: 256,
+        },
+    )
+    .unwrap();
+
+    let mut a = TcpStream::connect(server.addr()).unwrap();
+    a.set_nodelay(true).unwrap();
+    a.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    handshake(&mut a).expect("hello");
+    let mut burst = Vec::new();
+    for i in 0..BURST {
+        let rec = Record::ycsb(&format!("drain-{i:03}"), &[vec![i as u8; 32]]);
+        burst.extend_from_slice(&encode_request(&Request::Set(rec)));
+    }
+    a.write_all(&burst).unwrap();
+    // Let the handler pull the whole burst into tickets before the
+    // shutdown lands — the satellite under test is queued-ticket
+    // draining, not partial-read truncation.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut b = TcpStream::connect(server.addr()).unwrap();
+    b.set_nodelay(true).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    handshake(&mut b).expect("hello");
+    b.write_all(&encode_request(&Request::Shutdown)).unwrap();
+
+    // Every one of A's writes must be answered — acked or failed, never
+    // silently dropped — before the server closes the connection.
+    let mut replies = 0usize;
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        while let Ok(Some((reply, n))) = parse_reply(&buf) {
+            buf.drain(..n);
+            assert!(
+                matches!(reply, Reply::Ok | Reply::Err(_)),
+                "SET answered {reply:?}"
+            );
+            replies += 1;
+        }
+        match a.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(_) => break,
+        }
+    }
+    assert_eq!(replies, BURST, "a queued ticket was silently lost");
+
+    // All replies are in hand ⇒ every ticket is resolved; the counters
+    // are final before the teardown.
+    let stats = server.stats();
+    server.shutdown();
+    assert_eq!(stats.queued_writes, BURST as u64);
+    assert_eq!(
+        stats.queued_writes,
+        stats.acked_writes + stats.nacked_writes + stats.failed_writes,
+        "every ticket must resolve exactly once"
+    );
+    assert_eq!(stats.acked_writes, BURST as u64, "crash-free burst must ack");
+    drop(rt);
+}
+
 /// The wide sweep for the scheduled torture job
 /// (`cargo test --release --test server_torture -- --ignored`).
 /// Recovers on 4 threads so the torture job also exercises the parallel
@@ -240,6 +428,43 @@ fn kill_during_traffic_wide_sweep() {
     for point in strided_points(total, 40) {
         if let Err(e) = kill_during_traffic(point, &cfg) {
             panic!("{e}");
+        }
+    }
+}
+
+/// Wide replicated sweep for the torture job: primary kills across the
+/// op stream on a 2-shard replicated server, plus a handful of backup
+/// kills. Every point must verify acked ⇒ durable on the survivor.
+#[test]
+#[ignore]
+fn replicated_kill_wide_sweep() {
+    let cfg = TortureConfig {
+        load: LoadgenConfig {
+            conns: 4,
+            ops_per_conn: 80,
+            pipeline: 16,
+            fields: 4,
+            value_size: 64,
+        },
+        pool_shards: 2,
+        replicas: 2,
+        recovery_threads: 4,
+        ..TortureConfig::default()
+    };
+    let total = traffic_op_count(&cfg);
+    for point in strided_points(total, 25) {
+        if let Err(e) = kill_during_traffic(point, &cfg) {
+            panic!("primary kill at {point}: {e}");
+        }
+    }
+    let backup_cfg = TortureConfig {
+        crash_replica: 1,
+        ..cfg
+    };
+    let total_b = traffic_op_count(&backup_cfg);
+    for point in strided_points(total_b, 10) {
+        if let Err(e) = kill_during_traffic(point, &backup_cfg) {
+            panic!("backup kill at {point}: {e}");
         }
     }
 }
