@@ -622,6 +622,14 @@ impl JnvmRuntime {
     /// or on persistent-heap exhaustion.
     pub fn fa<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
         let outermost = depth() == 0;
+        // A solo block is a stage plus a group-of-one commit: span its
+        // mutate phase as `fa_stage` and its commit as `fa_commit_group`
+        // so staged and direct commits render alike on a timeline.
+        let obs_begin = if outermost {
+            jnvm_obs::span_begin()
+        } else {
+            jnvm_obs::NOT_TRACING
+        };
         if outermost {
             set_phase(CommitPhase::Mutate);
             let log = self.fa_manager().acquire_log(self);
@@ -666,7 +674,10 @@ impl JnvmRuntime {
         };
         let r = f();
         if guard.outermost {
+            jnvm_obs::span_end(jnvm_obs::SpanKind::FaStage, obs_begin);
+            let obs_commit = jnvm_obs::span_begin();
             commit_tx(self);
+            jnvm_obs::span_end(jnvm_obs::SpanKind::FaCommitGroup, obs_commit);
             guard.committed = true;
         }
         drop(guard);
@@ -705,6 +716,7 @@ impl JnvmRuntime {
     /// block: staging cannot nest.
     pub fn fa_stage<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> (StagedTx, R) {
         assert_eq!(depth(), 0, "fa_stage cannot nest inside an active failure-atomic block");
+        let obs_begin = jnvm_obs::span_begin();
         set_phase(CommitPhase::Mutate);
         let log = self.fa_manager().acquire_log(self);
         TX.with(|tx| {
@@ -740,6 +752,7 @@ impl JnvmRuntime {
         // (per-thread persistence domains drain only the caller's queue).
         set_phase(CommitPhase::FlushInflight);
         flush_staged(self, &state);
+        jnvm_obs::span_end(jnvm_obs::SpanKind::FaStage, obs_begin);
         (
             StagedTx {
                 state: Some(state),
@@ -805,6 +818,7 @@ impl JnvmRuntime {
                 }
             }
         }
+        let obs_begin = jnvm_obs::span_begin();
         let pmem = self.pmem();
         let heap = self.heap();
         // 1. One fence covers every staged block's queued write-backs.
@@ -870,6 +884,7 @@ impl JnvmRuntime {
         for st in states {
             self.fa_manager().release_log(st.log);
         }
+        jnvm_obs::span_end(jnvm_obs::SpanKind::FaCommitGroup, obs_begin);
         set_phase(CommitPhase::Idle);
     }
 }

@@ -370,7 +370,7 @@ impl Proxy {
     /// [`jnvm_pmem::Pmem::ordering_point`]). No-op inside a failure-atomic
     /// block, where the commit protocol owns durability and declares its
     /// own ordering points.
-    pub fn ordering_point(&self, label: &str, off: u64, len: u64) {
+    pub fn ordering_point(&self, label: &'static str, off: u64, len: u64) {
         if fa::depth() > 0 {
             return;
         }

@@ -161,8 +161,10 @@ pub(crate) fn run(rt: &Jnvm, opts: RecoveryOptions) -> Result<RecoveryReport, Jn
     };
     // 1. Failure-atomic logs first (§4.2).
     let t0 = Instant::now();
+    let obs_replay = jnvm_obs::span_begin();
     let (replayed, abandoned, replay_times, replay_device) =
         rt.fa_manager().recover_logs(rt, threads)?;
+    jnvm_obs::span_end(jnvm_obs::SpanKind::RecoveryReplay, obs_replay);
     report.replayed_logs = replayed;
     report.abandoned_logs = abandoned;
     report.replay_thread_times = replay_times;
@@ -171,10 +173,12 @@ pub(crate) fn run(rt: &Jnvm, opts: RecoveryOptions) -> Result<RecoveryReport, Jn
 
     // 2. Collection pass.
     let t1 = Instant::now();
+    let obs_mark = jnvm_obs::span_begin();
     match opts.mode {
         RecoveryMode::Full => full_gc(rt, threads, &mut report)?,
         RecoveryMode::HeaderScanOnly => header_scan(rt, threads, &mut report),
     }
+    jnvm_obs::span_end(jnvm_obs::SpanKind::RecoveryMark, obs_mark);
     report.gc_time = t1.elapsed();
     rt.pmem().psync();
     Ok(report)

@@ -1,0 +1,221 @@
+//! `jnvm-faultsim`: command-line front end for the crash-point engine.
+//!
+//! ```text
+//! # render the commit timeline around an injected power failure
+//! jnvm-faultsim timeline [--threads 3] [--point N] [--rounds 4]
+//!                        [--keys 4] [--pool-mb 16] [--max-spans 48]
+//! ```
+//!
+//! The `timeline` subcommand runs a concurrent failure-atomic KV churn on
+//! a CrashSim device with the Optane-like latency profile, arms a power
+//! failure at op `--point` (default: the middle of the counted op
+//! stream), recovers the pool, and renders the observability layer's
+//! span rings as one interleaved timeline: every `fa_stage`,
+//! `fa_commit_group`, ordering point, and recovery span, per thread, on
+//! the modeled device clock. The crash splits the timeline in two — the
+//! spans the workload completed before power was lost, then the recovery
+//! pass's marks and replays.
+//!
+//! Timestamps are **per-thread modeled nanoseconds** (each thread's own
+//! charged device time, as if it had a dedicated core), so cross-thread
+//! ordering in the merged view is approximate; within a thread it is
+//! exact.
+
+use std::sync::Arc;
+
+use jnvm::{Jnvm, JnvmBuilder};
+use jnvm_heap::HeapConfig;
+use jnvm_kvstore::{register_kvstore, DataGrid, GridConfig, JnvmBackend, Record};
+use jnvm_pmem::{
+    catch_crash, silence_crash_panics, FaultMode, FaultPlan, LatencyProfile, Pmem, PmemConfig,
+    SimMode,
+};
+
+struct TimelineOpts {
+    threads: usize,
+    point: Option<u64>,
+    rounds: usize,
+    keys: usize,
+    pool_mb: u64,
+    max_spans: usize,
+}
+
+fn opt<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Ctx {
+    /// Keeps the runtime (and its heap/pools) alive for the workload's lifetime.
+    _rt: Jnvm,
+    grid: DataGrid,
+}
+
+fn setup(opts: &TimelineOpts) -> (Arc<Pmem>, Ctx) {
+    // CrashSim fidelity *with* the Optane latency profile: the injected
+    // spin both charges the modeled clock (span timestamps) and spreads
+    // the threads' op streams out so the timeline shows real overlap.
+    let pmem = Pmem::new(PmemConfig {
+        size: opts.pool_mb << 20,
+        mode: SimMode::CrashSim,
+        latency: LatencyProfile::optane_like(),
+        ..PmemConfig::crash_sim(0)
+    });
+    let rt = register_kvstore(JnvmBuilder::new())
+        .create(Arc::clone(&pmem), HeapConfig::default())
+        .expect("create pool");
+    let be = JnvmBackend::create(&rt, 2, true).expect("backend");
+    let grid = DataGrid::new(
+        Arc::new(be),
+        GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        },
+    );
+    for t in 0..opts.threads {
+        for k in 0..opts.keys {
+            let v = format!("t{t}k{k}-init").into_bytes();
+            assert!(grid.insert(&Record::ycsb(&format!("t{t}k{k}"), &[v.clone(), v])));
+        }
+    }
+    pmem.psync();
+    (pmem, Ctx { _rt: rt, grid })
+}
+
+/// Per-thread churn: RMW / remove / re-insert over the thread's own keys,
+/// contending on the shared heap, redo-log pool and map shards.
+fn workload(t: usize, ctx: &Ctx, opts: &TimelineOpts) {
+    for i in 0..opts.rounds {
+        for k in 0..opts.keys {
+            let key = format!("t{t}k{k}");
+            let val = format!("t{t}k{k}-{i:04}").into_bytes();
+            match i % 3 {
+                0 => drop(ctx.grid.rmw(&key, 0, &val)),
+                1 => drop(ctx.grid.remove(&key)),
+                _ => drop(ctx.grid.insert(&Record::ycsb(&key, &[val.clone(), val]))),
+            }
+        }
+    }
+}
+
+fn run_workers(pmem: &Arc<Pmem>, ctx: Ctx, opts: &TimelineOpts) -> usize {
+    let crashed = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..opts.threads {
+            let ctx = &ctx;
+            let crashed = &crashed;
+            std::thread::Builder::new()
+                .name(format!("worker-{t}"))
+                .spawn_scoped(s, move || {
+                    if catch_crash(|| workload(t, ctx, opts)).is_err() {
+                        crashed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                })
+                .expect("spawn worker");
+        }
+    });
+    let injected = pmem.faults_frozen();
+    drop(ctx); // unwind destructors must not repair the crash image
+    pmem.disarm_faults();
+    if injected {
+        pmem.resync_cache();
+    }
+    crashed.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+fn render_timeline(max_spans: usize) {
+    // Merge every thread's recent spans into one chronological view.
+    let mut rows: Vec<(String, jnvm_obs::SpanRecord)> = Vec::new();
+    for (thread, _total, spans) in jnvm_obs::recent_spans(max_spans) {
+        for s in spans {
+            rows.push((thread.clone(), s));
+        }
+    }
+    rows.sort_by_key(|(_, s)| (s.begin_ns, s.seq));
+    println!(
+        "{:>12}  {:>9}  {:<14}  {:<16}  label",
+        "t(ns)", "dur(ns)", "thread", "kind"
+    );
+    for (thread, s) in &rows {
+        println!(
+            "{:>12}  {:>9}  {:<14}  {:<16}  {}",
+            s.begin_ns,
+            s.end_ns - s.begin_ns,
+            thread,
+            s.kind.name(),
+            s.label
+        );
+    }
+    let totals = jnvm_obs::span_totals();
+    let summary: Vec<String> = jnvm_obs::SpanKind::all()
+        .iter()
+        .map(|k| format!("{}={}", k.name(), totals[*k as usize]))
+        .collect();
+    println!("---\nspans {}", summary.join(" "));
+}
+
+fn timeline(args: &[String]) {
+    let opts = TimelineOpts {
+        threads: opt(args, "--threads", 3),
+        point: args
+            .iter()
+            .position(|a| a == "--point")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("--point takes an op index")),
+        rounds: opt(args, "--rounds", 4),
+        keys: opt(args, "--keys", 4),
+        pool_mb: opt(args, "--pool-mb", 16),
+        max_spans: opt(args, "--max-spans", 48),
+    };
+    silence_crash_panics();
+
+    // Count pass: learn the interleaved op total so the default crash
+    // point lands mid-stream. Tracing stays off here so the rendered
+    // timeline holds only the crash run and its recovery.
+    jnvm_obs::set_mode(jnvm_obs::ObsMode::Off);
+    let (pmem, ctx) = setup(&opts);
+    pmem.arm_faults(FaultPlan::count());
+    run_workers(&pmem, ctx, &opts);
+    let total = pmem.disarm_faults();
+    let point = opts.point.unwrap_or(total / 2);
+    println!("op space ~{total}; arming power failure at op {point}\n");
+    jnvm_obs::set_mode(jnvm_obs::ObsMode::Log);
+
+    // Crash run on a fresh device, then recovery — both traced.
+    let (pmem, ctx) = setup(&opts);
+    pmem.arm_faults(FaultPlan {
+        mode: FaultMode::CrashAt(point),
+        ..FaultPlan::count()
+    });
+    let crashed = run_workers(&pmem, ctx, &opts);
+    println!(
+        "crash {}: {crashed}/{} workers unwound; recovering...\n",
+        if crashed > 0 { "fired" } else { "did not fire (point past stream end)" },
+        opts.threads
+    );
+    let (_rt, report) = register_kvstore(JnvmBuilder::new())
+        .open(Arc::clone(&pmem))
+        .expect("recovery");
+    println!(
+        "recovered: {} live blocks, {} logs replayed\n",
+        report.live_blocks, report.replayed_logs
+    );
+    render_timeline(opts.max_spans);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("timeline") => timeline(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: jnvm-faultsim timeline [--threads N] [--point N] [--rounds N] \
+                 [--keys N] [--pool-mb MB] [--max-spans N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! # jnvm-obs — zero-cost-when-off observability for the J-NVM stack
+//!
+//! Three pieces, all process-global and all gated behind a single mode
+//! branch per call site:
+//!
+//! * a **structured span tracer** ([`trace`]): each thread owns a
+//!   fixed-capacity ring of typed spans (`fa_stage`, `fa_commit_group`,
+//!   `repl_send`/`repl_ack`, `recovery_mark`/`recovery_replay`,
+//!   `ordering_point`), written lock-free by the owner and readable
+//!   best-effort by anyone (the `TRACE` server command, the faultsim
+//!   timeline dump). Timestamps come from the installed clock — the
+//!   device's `thread_charged_ns` modeled-time counter — so traces show
+//!   simulated device time, which is meaningful even on a 1-CPU container
+//!   where wall clock cannot exhibit parallelism.
+//! * a **metrics registry** ([`metrics`]): per-label fence/pwb counters
+//!   keyed by the persist-ordering-point labels (every `ordering_point`
+//!   label is a metrics key — see DESIGN.md), plus named latency
+//!   histograms ([`Histogram`]) for per-op latency (the server's
+//!   commit-ack path records here).
+//! * the **mode switch** (this module): `JNVM_OBS=off|log`, overridable
+//!   in-process via [`set_mode`] for tests and benches. While the mode is
+//!   `Off`, every entry point reduces to one never-taken branch — no
+//!   allocation, no TLS ring creation, no counter movement
+//!   (`fig15_obs_overhead` and the off-mode guard test hold it to that).
+//!
+//! ## Why a clock *installation* instead of a clock dependency
+//!
+//! The natural clock is `jnvm_pmem::thread_charged_ns`, but `jnvm-pmem`
+//! depends on this crate (the device is the biggest span producer), so
+//! the clock arrives at runtime: `Pmem::new` calls [`install_clock`] with
+//! the charged-time function. Before any device exists, [`now`] returns 0
+//! — spans recorded that early are still counted, just timeless.
+
+mod histogram;
+pub mod metrics;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSummary};
+pub use metrics::{
+    flush_thread_pending, metrics_snapshot, metrics_text, note_fence, note_ordering_point,
+    note_psync, note_pwb, record_latency, LabelCounts, MetricsSnapshot, UNATTRIBUTED,
+};
+pub use trace::{
+    point_span, recent_spans, ring_count, ring_totals, span_begin, span_end, span_end_labeled,
+    span_totals, trace_text, SpanKind, SpanRecord, NOT_TRACING, SPAN_KINDS,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Observability mode, resolved from `JNVM_OBS` on first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsMode {
+    /// All entry points are one never-taken branch.
+    Off,
+    /// Spans, per-label fence accounting and histograms are live.
+    Log,
+}
+
+impl ObsMode {
+    /// Parse `JNVM_OBS`. Unset, empty, `off` and `0` mean [`ObsMode::Off`];
+    /// `log` (or `on`/`1`) means [`ObsMode::Log`]. Anything else panics —
+    /// a typo must not silently disable observability (same contract as
+    /// `JNVM_SANITIZE`).
+    pub fn from_env() -> ObsMode {
+        match std::env::var("JNVM_OBS").as_deref() {
+            Err(_) | Ok("") | Ok("off") | Ok("0") => ObsMode::Off,
+            Ok("log") | Ok("on") | Ok("1") => ObsMode::Log,
+            Ok(other) => panic!("JNVM_OBS={other:?}: expected off|log"),
+        }
+    }
+}
+
+const MODE_UNINIT: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_LOG: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+/// The one branch every span/counter site pays while observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_LOG => true,
+        MODE_OFF => false,
+        _ => init_mode(),
+    }
+}
+
+#[cold]
+fn init_mode() -> bool {
+    let m = ObsMode::from_env();
+    set_mode(m);
+    m == ObsMode::Log
+}
+
+/// Current mode (resolving the environment if not yet resolved).
+pub fn mode() -> ObsMode {
+    if enabled() {
+        ObsMode::Log
+    } else {
+        ObsMode::Off
+    }
+}
+
+/// Override the mode in-process (tests, benches, `--trace`). Wins over the
+/// environment; safe to flip repeatedly.
+pub fn set_mode(m: ObsMode) {
+    let v = match m {
+        ObsMode::Off => MODE_OFF,
+        ObsMode::Log => MODE_LOG,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+static CLOCK: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Install the span timestamp source (first installation wins; later calls
+/// are no-ops, so every `Pmem::new` may call this unconditionally).
+pub fn install_clock(f: fn() -> u64) {
+    let _ = CLOCK.set(f);
+}
+
+/// Current timestamp from the installed clock, 0 if none is installed.
+#[inline]
+pub fn now() -> u64 {
+    CLOCK.get().map_or(0, |f| f())
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // Mode, rings and registry are process-global; tests that flip the
+    // mode or assert on totals serialize here.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_override_flips_enabled() {
+        let _g = test_lock();
+        set_mode(ObsMode::Off);
+        assert!(!enabled());
+        assert_eq!(mode(), ObsMode::Off);
+        set_mode(ObsMode::Log);
+        assert!(enabled());
+        assert_eq!(mode(), ObsMode::Log);
+        set_mode(ObsMode::Off);
+    }
+
+    #[test]
+    fn clock_installation_is_first_wins() {
+        fn fixed() -> u64 {
+            42
+        }
+        fn other() -> u64 {
+            7
+        }
+        install_clock(fixed);
+        install_clock(other);
+        assert_eq!(now(), 42);
+    }
+}

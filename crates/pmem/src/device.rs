@@ -93,6 +93,10 @@ impl Pmem {
     /// Create a pool per `cfg`. The size is rounded up to a whole number of
     /// cache lines; contents start zeroed (persistently so).
     pub fn new(cfg: PmemConfig) -> Arc<Pmem> {
+        // Span timestamps come from the modeled device clock, which lives
+        // here in jnvm-pmem; the obs crate sits below us in the graph, so
+        // the clock is installed at runtime (first installation wins).
+        jnvm_obs::install_clock(crate::latency::thread_charged_ns);
         let size = cfg.size.div_ceil(CACHE_LINE) * CACHE_LINE;
         let nwords = (size / 8) as usize;
         let nlines = (size / CACHE_LINE) as usize;
@@ -553,6 +557,7 @@ impl Pmem {
             return;
         }
         self.stats.pwbs.add(1);
+        jnvm_obs::note_pwb();
         if self.latency_on {
             spin_ns(self.latency.pwb_ns);
         }
@@ -630,6 +635,7 @@ impl Pmem {
             return;
         }
         self.stats.pfences.add(1);
+        jnvm_obs::note_fence();
         if self.latency_on {
             spin_ns(self.latency.pfence_ns);
         }
@@ -649,6 +655,7 @@ impl Pmem {
             return;
         }
         self.stats.psyncs.add(1);
+        jnvm_obs::note_psync();
         if self.latency_on {
             spin_ns(self.latency.psync_ns);
         }
@@ -692,11 +699,14 @@ impl Pmem {
     ///
     /// No-op while the device is frozen by an injected crash: the ops a
     /// crash-point sweep skipped would otherwise read as violations.
-    pub fn ordering_point(&self, label: &str, footprint: &[(u64, u64)]) {
+    pub fn ordering_point(&self, label: &'static str, footprint: &[(u64, u64)]) {
         if self.faults_frozen() {
             return;
         }
         self.stats.ordering_points.add(1);
+        // Claims the thread's pending pwb/fence counts for this label and
+        // records an instant span (one never-taken branch while obs is off).
+        jnvm_obs::note_ordering_point(label);
         if let Some(san) = &self.san {
             for &(addr, len) in footprint {
                 self.check(addr, len);
@@ -713,7 +723,7 @@ impl Pmem {
     /// together — but still flags dirty lines (a pointer to a
     /// never-flushed header) and lines pending in another thread's
     /// domain. Does not count as an ordering point.
-    pub fn publish_point(&self, label: &str, footprint: &[(u64, u64)]) {
+    pub fn publish_point(&self, label: &'static str, footprint: &[(u64, u64)]) {
         if self.faults_frozen() {
             return;
         }

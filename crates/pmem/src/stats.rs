@@ -160,28 +160,103 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Number of counters in the snapshot (the length of [`Self::to_array`]).
+    pub const FIELDS: usize = 14;
+
+    /// Field names, in [`Self::to_array`] order.
+    pub const FIELD_NAMES: [&'static str; Self::FIELDS] = [
+        "reads",
+        "writes",
+        "bytes_read",
+        "bytes_written",
+        "pwbs",
+        "pfences",
+        "psyncs",
+        "crashes",
+        "injected_crashes",
+        "secondary_unwinds",
+        "ordering_points",
+        "san_violations",
+        "redundant_pwbs",
+        "redundant_fences",
+    ];
+
+    /// Every counter as a fixed-size array, in [`Self::FIELD_NAMES`] order.
+    ///
+    /// The **exhaustive** destructuring (no `..`) is the completeness
+    /// guard: adding a field to the struct without threading it through
+    /// here — and therefore through [`Self::delta`] and [`Self::absorb`],
+    /// which are implemented on top of the array — is a compile error,
+    /// not a silently-missing counter (this struct grew by hand twice
+    /// before, each time risking exactly that).
+    pub fn to_array(&self) -> [u64; Self::FIELDS] {
+        let StatsSnapshot {
+            reads,
+            writes,
+            bytes_read,
+            bytes_written,
+            pwbs,
+            pfences,
+            psyncs,
+            crashes,
+            injected_crashes,
+            secondary_unwinds,
+            ordering_points,
+            san_violations,
+            redundant_pwbs,
+            redundant_fences,
+        } = *self;
+        [
+            reads,
+            writes,
+            bytes_read,
+            bytes_written,
+            pwbs,
+            pfences,
+            psyncs,
+            crashes,
+            injected_crashes,
+            secondary_unwinds,
+            ordering_points,
+            san_violations,
+            redundant_pwbs,
+            redundant_fences,
+        ]
+    }
+
+    /// Inverse of [`Self::to_array`].
+    pub fn from_array(a: [u64; Self::FIELDS]) -> StatsSnapshot {
+        let [reads, writes, bytes_read, bytes_written, pwbs, pfences, psyncs, crashes, injected_crashes, secondary_unwinds, ordering_points, san_violations, redundant_pwbs, redundant_fences] =
+            a;
+        StatsSnapshot {
+            reads,
+            writes,
+            bytes_read,
+            bytes_written,
+            pwbs,
+            pfences,
+            psyncs,
+            crashes,
+            injected_crashes,
+            secondary_unwinds,
+            ordering_points,
+            san_violations,
+            redundant_pwbs,
+            redundant_fences,
+        }
+    }
+
     /// Counter-wise difference `self - earlier`, for measuring an interval.
     ///
     /// Saturating: if [`crate::Pmem::reset_stats`] ran between the two
     /// snapshots, `earlier` may exceed `self`; the difference clamps to 0
     /// instead of panicking in debug builds / wrapping in release builds.
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            reads: self.reads.saturating_sub(earlier.reads),
-            writes: self.writes.saturating_sub(earlier.writes),
-            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
-            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
-            pwbs: self.pwbs.saturating_sub(earlier.pwbs),
-            pfences: self.pfences.saturating_sub(earlier.pfences),
-            psyncs: self.psyncs.saturating_sub(earlier.psyncs),
-            crashes: self.crashes.saturating_sub(earlier.crashes),
-            injected_crashes: self.injected_crashes.saturating_sub(earlier.injected_crashes),
-            secondary_unwinds: self.secondary_unwinds.saturating_sub(earlier.secondary_unwinds),
-            ordering_points: self.ordering_points.saturating_sub(earlier.ordering_points),
-            san_violations: self.san_violations.saturating_sub(earlier.san_violations),
-            redundant_pwbs: self.redundant_pwbs.saturating_sub(earlier.redundant_pwbs),
-            redundant_fences: self.redundant_fences.saturating_sub(earlier.redundant_fences),
+        let mut a = self.to_array();
+        for (v, e) in a.iter_mut().zip(earlier.to_array()) {
+            *v = v.saturating_sub(e);
         }
+        StatsSnapshot::from_array(a)
     }
 
     /// Labeled ordering points emitted via [`crate::Pmem::ordering_point`]
@@ -200,20 +275,11 @@ impl StatsSnapshot {
     /// "how much device work happened", while per-shard critical-path
     /// comparisons should keep the snapshots separate.
     pub fn absorb(&mut self, other: &StatsSnapshot) {
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.bytes_read += other.bytes_read;
-        self.bytes_written += other.bytes_written;
-        self.pwbs += other.pwbs;
-        self.pfences += other.pfences;
-        self.psyncs += other.psyncs;
-        self.crashes += other.crashes;
-        self.injected_crashes += other.injected_crashes;
-        self.secondary_unwinds += other.secondary_unwinds;
-        self.ordering_points += other.ordering_points;
-        self.san_violations += other.san_violations;
-        self.redundant_pwbs += other.redundant_pwbs;
-        self.redundant_fences += other.redundant_fences;
+        let mut a = self.to_array();
+        for (v, o) in a.iter_mut().zip(other.to_array()) {
+            *v += o;
+        }
+        *self = StatsSnapshot::from_array(a);
     }
 }
 
@@ -279,5 +345,17 @@ mod tests {
         };
         assert_eq!(total, twice);
         assert_eq!(total.ordering_points(), 22);
+    }
+
+    #[test]
+    fn array_roundtrip_covers_every_field() {
+        // A distinct value per field: from_array(to_array(s)) == s proves
+        // the two orderings agree field-for-field.
+        let a: [u64; StatsSnapshot::FIELDS] =
+            std::array::from_fn(|i| (i as u64 + 1) * 1_000_003);
+        let s = StatsSnapshot::from_array(a);
+        assert_eq!(s.to_array(), a);
+        assert_eq!(StatsSnapshot::from_array(s.to_array()), s);
+        assert_eq!(StatsSnapshot::FIELD_NAMES.len(), StatsSnapshot::FIELDS);
     }
 }

@@ -8,7 +8,7 @@
 //! jnvm-loadgen --addr 127.0.0.1:41234 [--conns 4] [--ops 200] ...
 //!
 //! # spin up a server in-process, load it, report fences per acked write
-//! jnvm-loadgen --self-host [--shards 1] [--conns 4] [--ops 200] ...
+//! jnvm-loadgen --self-host [--shards 1] [--replicas 1] [--conns 4] ...
 //!
 //! # one kill-during-traffic experiment (or a whole sweep)
 //! jnvm-loadgen --kill-at 1234 [--shards 4] [--crash-shard 0]
@@ -19,14 +19,21 @@
 //! each; the kill modes arm the crash on `--crash-shard`'s device only,
 //! so the experiment covers the failure-isolation contract: the other
 //! shards must keep acking while one lies dead.
+//!
+//! `--trace` turns the observability layer on (`JNVM_OBS=log` for the
+//! self-hosted server) and dumps the server's `TRACE` and `METRICS`
+//! reports after the run.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
 use jnvm_kvstore::{GridConfig, ShardedKv};
 use jnvm_pmem::{Pmem, PmemConfig};
 use jnvm_server::{
-    kill_during_traffic, run_loadgen, traffic_op_count, Args, LoadReport, LoadgenConfig, Server,
-    ServerConfig, ShardHandle, TortureConfig,
+    encode_request, handshake, kill_during_traffic, parse_reply, run_loadgen, traffic_op_count,
+    Args, LoadReport, LoadgenConfig, Reply, Request, Server, ServerConfig, ShardHandle,
+    TortureConfig,
 };
 
 fn load_cfg(args: &Args) -> LoadgenConfig {
@@ -81,9 +88,47 @@ fn print_report(report: &LoadReport) {
     println!("latency {}", report.hist.summary().display_us());
 }
 
+/// One-shot request against a running server: handshake, one frame out,
+/// one reply back. Used for the post-run `TRACE`/`METRICS` dumps.
+fn fetch(addr: SocketAddr, req: &Request) -> Result<String, String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    handshake(&mut s).map_err(|e| e.to_string())?;
+    s.write_all(&encode_request(req)).map_err(|e| e.to_string())?;
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        match parse_reply(&buf).map_err(|e| e.to_string())? {
+            Some((Reply::Value(v), _)) => return Ok(String::from_utf8_lossy(&v).into_owned()),
+            Some((other, _)) => return Err(format!("unexpected reply {other:?}")),
+            None => {}
+        }
+        let n = s.read(&mut tmp).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed before reply".into());
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    }
+}
+
+/// Dump the server's `TRACE` and `METRICS` reports to stdout.
+fn dump_obs(addr: SocketAddr) {
+    for (name, req) in [("TRACE", Request::Trace), ("METRICS", Request::Metrics)] {
+        match fetch(addr, &req) {
+            Ok(text) => println!("--- {name} ---\n{text}"),
+            Err(e) => eprintln!("{name} fetch failed: {e}"),
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let cfg = load_cfg(&args);
+    let trace = args.has("trace");
+    if trace {
+        // Flip the whole process into log mode before any pool exists so
+        // every span site on the path is live, whatever JNVM_OBS says.
+        jnvm_obs::set_mode(jnvm_obs::ObsMode::Log);
+    }
 
     if let Some(point) = args.get("kill-at") {
         let point: u64 = point.parse().expect("--kill-at takes an op index");
@@ -145,38 +190,53 @@ fn main() {
 
     if args.has("self-host") {
         let pool_mb: u64 = args.get_or("pool-mb", 256);
-        let pool_shards: usize = args.get_or("shards", 1);
+        let pool_shards: usize = args.get_or("shards", 1).max(1);
+        let replicas: usize = args.get_or("replicas", 1).clamp(1, 2);
         let map_shards: usize = args.get_or("map-shards", 16);
         let scfg = ServerConfig {
             batch_max: args.get_or("batch-max", 64),
             queue_cap: args.get_or("queue-cap", 256),
         };
-        let pmems: Vec<Arc<Pmem>> = (0..pool_shards.max(1))
-            .map(|_| Pmem::new(PmemConfig::crash_sim(pool_mb << 20)))
-            .collect();
-        let kv = ShardedKv::create(
-            &pmems,
-            map_shards,
-            true,
-            GridConfig {
-                cache_capacity: 0,
-                ..GridConfig::default()
-            },
-        )
-        .expect("create pools");
-        let handles: Vec<ShardHandle> = kv
-            .shards()
-            .iter()
-            .map(|s| ShardHandle {
-                grid: Arc::clone(&s.grid),
-                be: Arc::clone(&s.be),
-                pmem: Arc::clone(&s.pmem),
+        let grid_cfg = GridConfig {
+            cache_capacity: 0,
+            ..GridConfig::default()
+        };
+        // One full pool set per replica position; replica 0 is the primary.
+        let mut kvs = Vec::with_capacity(replicas);
+        let mut pmems: Vec<Arc<Pmem>> = Vec::new();
+        for r in 0..replicas {
+            let role = if r == 0 { "primary" } else { "backup" };
+            let set: Vec<Arc<Pmem>> = (0..pool_shards)
+                .map(|s| {
+                    Pmem::new(
+                        PmemConfig::crash_sim(pool_mb << 20).with_label(&format!("s{s}/{role}")),
+                    )
+                })
+                .collect();
+            kvs.push(ShardedKv::create(&set, map_shards, true, grid_cfg).expect("create pools"));
+            pmems.extend(set);
+        }
+        let shard_sets: Vec<Vec<ShardHandle>> = (0..pool_shards)
+            .map(|s| {
+                kvs.iter()
+                    .map(|kv| {
+                        let shard = &kv.shards()[s];
+                        ShardHandle {
+                            grid: Arc::clone(&shard.grid),
+                            be: Arc::clone(&shard.be),
+                            pmem: Arc::clone(&shard.pmem),
+                        }
+                    })
+                    .collect()
             })
             .collect();
         let before: Vec<_> = pmems.iter().map(|p| p.stats()).collect();
-        let server = Server::start_sharded(handles, scfg).expect("bind server");
+        let server = Server::start_replicated(shard_sets, scfg).expect("bind server");
         let report = run_loadgen(server.addr(), &cfg);
         let stats = server.stats();
+        if trace {
+            dump_obs(server.addr());
+        }
         server.shutdown();
         let mut d = jnvm_pmem::StatsSnapshot::default();
         for (p, b) in pmems.iter().zip(&before) {
@@ -194,10 +254,13 @@ fn main() {
         return;
     }
 
-    let addr = args
+    let addr: SocketAddr = args
         .get("addr")
         .expect("--addr host:port (or --self-host / --kill-at / --kill-sweep)")
         .parse()
         .expect("--addr must be host:port");
     print_report(&run_loadgen(addr, &cfg));
+    if trace {
+        dump_obs(addr);
+    }
 }

@@ -47,7 +47,7 @@ pub use args::Args;
 pub use loadgen::{run_loadgen, ConnReport, LoadReport, LoadgenConfig};
 pub use proto::{
     encode_reply, encode_request, handshake, handshake_proto_error, parse_frame, parse_reply,
-    ParseOutcome, ProtoError, Reply, Request,
+    ParseOutcome, ProtoError, Reply, Request, PROTO_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerStats, ShardHandle};
 pub use torture::{kill_during_traffic, traffic_op_count, KillReport, TortureConfig};

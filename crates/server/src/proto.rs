@@ -15,6 +15,8 @@
 //! | 6 | STATS | empty |
 //! | 7 | SHUTDOWN | empty |
 //! | 8 | REPL_APPLY | `[seq u64][count u32][tagged ops...]` (replication link) |
+//! | 9 | TRACE | empty |
+//! | 10 | METRICS | empty |
 //!
 //! Since protocol version 2 every connection opens with a two-byte
 //! **hello** — `[MAGIC, PROTO_VERSION]` — sent by each side before any
@@ -39,8 +41,9 @@ use jnvm_kvstore::{decode_record, encode_record, Record, WriteOp};
 pub const MAGIC: u8 = 0x4e;
 
 /// Wire-protocol version, exchanged in the connect-time hello. Bumped to
-/// 2 when the REPL frames were added.
-pub const PROTO_VERSION: u8 = 2;
+/// 2 when the REPL frames were added, to 3 for the observability frames
+/// (`TRACE`/`METRICS`).
+pub const PROTO_VERSION: u8 = 3;
 
 /// Hard cap on a frame body; larger lengths are treated as an attack (a
 /// 4 GiB length word must not cause a 4 GiB buffer).
@@ -60,6 +63,8 @@ const OP_LEN: u8 = 5;
 const OP_STATS: u8 = 6;
 const OP_SHUTDOWN: u8 = 7;
 const OP_REPL_APPLY: u8 = 8;
+const OP_TRACE: u8 = 9;
+const OP_METRICS: u8 = 10;
 
 const ST_OK: u8 = 0;
 const ST_VALUE: u8 = 1;
@@ -111,6 +116,12 @@ pub enum Request {
     Len,
     /// Server/device/grid counters as text.
     Stats,
+    /// Recent per-thread observability spans as text (`jnvm-obs`
+    /// tracer dump; empty-ish while `JNVM_OBS=off`).
+    Trace,
+    /// Observability metrics-registry snapshot as text: per-label
+    /// fence/pwb accounting and latency histograms.
+    Metrics,
     /// Orderly shutdown.
     Shutdown,
     /// Replication link only: apply one commit group on the backup. `seq`
@@ -191,6 +202,8 @@ pub fn parse_frame(buf: &[u8]) -> ParseOutcome {
         },
         OP_LEN => Request::Len,
         OP_STATS => Request::Stats,
+        OP_TRACE => Request::Trace,
+        OP_METRICS => Request::Metrics,
         OP_SHUTDOWN => Request::Shutdown,
         _ => return ParseOutcome::Malformed("unknown op"),
     };
@@ -356,6 +369,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Del(key) => (OP_DEL, key.as_bytes().to_vec()),
         Request::Len => (OP_LEN, Vec::new()),
         Request::Stats => (OP_STATS, Vec::new()),
+        Request::Trace => (OP_TRACE, Vec::new()),
+        Request::Metrics => (OP_METRICS, Vec::new()),
         Request::Shutdown => (OP_SHUTDOWN, Vec::new()),
         Request::ReplApply { seq, ops } => {
             let mut b = Vec::new();
@@ -540,6 +555,8 @@ mod tests {
             Request::Del("k".into()),
             Request::Len,
             Request::Stats,
+            Request::Trace,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for r in &reqs {
@@ -567,7 +584,10 @@ mod tests {
                 theirs: 1
             }
         );
-        assert!(msg.contains("v2") && msg.contains("v1"), "{msg}");
+        assert!(
+            msg.contains(&format!("v{PROTO_VERSION}")) && msg.contains("v1"),
+            "{msg}"
+        );
         // The io::Error wrapper keeps the typed value recoverable.
         // Writing our hello advances the cursor by two; the peer's bytes
         // sit right behind it.

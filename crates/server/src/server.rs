@@ -208,6 +208,9 @@ impl Ticket {
 struct Pending {
     op: WriteOp,
     ticket: Arc<Ticket>,
+    /// When the op entered its shard queue — the base of the commit-ack
+    /// latency recorded into the obs registry at resolution.
+    enqueued: Instant,
 }
 
 /// One replica's stack inside a shard's [`ReplicaSet`].
@@ -577,6 +580,10 @@ fn quiesce_link(shard: &ShardState) {
 fn resolve_done(shared: &Shared, shard: &ShardState, p: &Pending, ok: bool) {
     if ok {
         shared.acked_writes.fetch_add(1, Ordering::Relaxed);
+        // Exactly one registry sample per acked write, recorded at the
+        // same place the counter moves — the obs-invariant suite holds
+        // `acked_writes == hist("commit-ack").count` to the digit.
+        jnvm_obs::record_latency("commit-ack", p.enqueued.elapsed().as_nanos() as u64);
         if shard.set.promotions() > 0 {
             shared.acked_after_promotion.fetch_add(1, Ordering::Relaxed);
         }
@@ -713,12 +720,19 @@ fn committer_loop(shared: &Arc<Shared>, si: usize) {
         // backup applies concurrently (latency = max of the two passes)
         // and its state stays a superset-prefix of the primary's at every
         // primary crash point.
+        let obs_send = jnvm_obs::span_begin();
         let ack_target = stream_to_backup(shard, &ops);
+        if ack_target.is_some() {
+            jnvm_obs::span_end(jnvm_obs::SpanKind::ReplSend, obs_send);
+        }
         let active = shard.active();
         match catch_crash(|| commit_writes(&active.grid, &active.be, &ops)) {
             Ok(out) => {
                 if let Some(target) = ack_target {
-                    if !wait_for_backup(shard, target) {
+                    let obs_ack = jnvm_obs::span_begin();
+                    let backup_ok = wait_for_backup(shard, target);
+                    jnvm_obs::span_end(jnvm_obs::SpanKind::ReplAck, obs_ack);
+                    if !backup_ok {
                         // Backup died mid-batch. The primary already
                         // holds the group durably — ack off it alone.
                         degrade_backup(shard);
@@ -785,6 +799,7 @@ fn enqueue(shared: &Shared, op: WriteOp) -> Result<(Arc<Ticket>, usize), &'stati
     q.push_back(Pending {
         op,
         ticket: Arc::clone(&ticket),
+        enqueued: Instant::now(),
     });
     shared.queued_writes.fetch_add(1, Ordering::Relaxed);
     shard.queue_cv.notify_one();
@@ -933,6 +948,10 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
                             }
                         }
                         Request::Stats => Reply::Value(stats_text(shared).into_bytes()),
+                        Request::Trace => {
+                            Reply::Value(jnvm_obs::trace_text(64).into_bytes())
+                        }
+                        Request::Metrics => Reply::Value(metrics_text(shared).into_bytes()),
                         Request::Shutdown => Reply::Ok,
                         // Replication frames belong on the committer ↔
                         // endpoint link, never on a client connection.
@@ -996,6 +1015,19 @@ fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
         .lock()
         .expect("latency lock")
         .merge(&hist);
+}
+
+/// The `METRICS` reply: the obs registry (per-label fence accounting,
+/// span totals, latency histograms) plus the server's acked-write count —
+/// the two sides of the "one commit-ack sample per acked write"
+/// invariant, in one report.
+fn metrics_text(shared: &Shared) -> String {
+    let mut out = jnvm_obs::metrics_text();
+    out.push_str(&format!(
+        "acked_writes={}\n",
+        shared.acked_writes.load(Ordering::Relaxed)
+    ));
+    out
 }
 
 fn stats_text(shared: &Shared) -> String {

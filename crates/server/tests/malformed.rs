@@ -112,7 +112,11 @@ fn version_mismatch_at_hello_closes_before_any_service() {
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut server_hello = [0u8; 2];
         s.read_exact(&mut server_hello).unwrap();
-        assert_eq!(server_hello, [0x4e, 2], "server announces v2");
+        assert_eq!(
+            server_hello,
+            [0x4e, jnvm_server::PROTO_VERSION],
+            "server announces the current protocol version"
+        );
         s.write_all(&[0x4e, 1]).unwrap();
         // The server closes without serving; a SET after the bad hello
         // gets no reply, just EOF.

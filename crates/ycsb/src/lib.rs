@@ -17,7 +17,6 @@
 //! harness flags (EXPERIMENTS.md records the scale in use).
 
 mod generator;
-mod histogram;
 mod runner;
 mod workload;
 
@@ -25,7 +24,10 @@ pub use generator::{
     fnv1a_64, Generator, LatestGenerator, ScrambledZipfianGenerator, UniformGenerator,
     ZipfianGenerator,
 };
-pub use histogram::{Histogram, HistogramSummary};
+// The histogram moved down the crate graph into `jnvm-obs` (the metrics
+// registry needs it below `jnvm-pmem`); re-exported here so runner users
+// keep their import paths.
+pub use jnvm_obs::{Histogram, HistogramSummary};
 pub use runner::{run_load, run_workload, KvClient, OpKind, RunReport};
 pub use workload::{RequestDistribution, Workload, WorkloadSpec};
 

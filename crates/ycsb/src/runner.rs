@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::generator::{Generator, LatestGenerator, ScrambledZipfianGenerator};
-use crate::histogram::Histogram;
+use crate::Histogram;
 use crate::workload::{RequestDistribution, WorkloadSpec};
 use crate::{field_value, record_key};
 

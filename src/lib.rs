@@ -6,6 +6,7 @@
 
 pub use jnvm;
 pub use jnvm_faultsim as faultsim;
+pub use jnvm_obs as obs;
 pub use jnvm_gcsim as gcsim;
 pub use jnvm_heap as heap;
 pub use jnvm_jpdt as jpdt;
