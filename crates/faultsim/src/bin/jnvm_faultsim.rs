@@ -4,7 +4,21 @@
 //! # render the commit timeline around an injected power failure
 //! jnvm-faultsim timeline [--threads 3] [--point N] [--rounds 4]
 //!                        [--keys 4] [--pool-mb 16] [--max-spans 48]
+//!
+//! # sweep crash points and hold every run to durable linearizability
+//! jnvm-faultsim lincheck [--points 12] [--shards 2] [--replicas 2]
+//!                        [--crash-shard 0] [--crash-backup] [--seed N]
+//!                        [--conns 4] [--ops 120]
 //! ```
+//!
+//! The `lincheck` subcommand drives the kill-during-traffic torture at
+//! strided crash points; each run captures every client's
+//! invocation/response-stamped op history, reopens the surviving
+//! replicas, appends the recovered state as post-recovery reads, and
+//! checks the whole thing with the per-key Wing–Gong verifier
+//! (`jnvm-lincheck`). The first non-linearizable history stops the sweep
+//! and prints its minimized witness — the shortest per-key subsequence
+//! that fails — then exits 1.
 //!
 //! The `timeline` subcommand runs a concurrent failure-atomic KV churn on
 //! a CrashSim device with the Optane-like latency profile, arms a power
@@ -206,14 +220,76 @@ fn timeline(args: &[String]) {
     render_timeline(opts.max_spans);
 }
 
+/// Sweep strided crash points through kill-during-traffic and hold every
+/// run to durable linearizability. Exits 1 on the first violation, with
+/// the checker's minimized witness on stderr.
+fn lincheck(args: &[String]) {
+    use jnvm_server::{
+        kill_during_traffic, traffic_op_count, LoadgenConfig, ServerConfig, TortureConfig,
+    };
+    let cfg = TortureConfig {
+        load: LoadgenConfig {
+            conns: opt(args, "--conns", 4),
+            ops_per_conn: opt(args, "--ops", 120),
+            pipeline: opt(args, "--pipeline", 16),
+            fields: opt(args, "--fields", 4),
+            value_size: opt(args, "--value-size", 32),
+            seed: opt(args, "--seed", 0),
+        },
+        shards: opt(args, "--map-shards", 16),
+        pool_shards: opt(args, "--shards", 2),
+        replicas: opt(args, "--replicas", 1),
+        crash_shard: opt(args, "--crash-shard", 0),
+        crash_replica: usize::from(args.iter().any(|a| a == "--crash-backup")),
+        pool_bytes: opt(args, "--pool-mb", 64u64) << 20,
+        recovery_threads: opt(args, "--recovery-threads", 2),
+        server: ServerConfig::default(),
+    };
+    let points = opt(args, "--points", 12u64);
+    let total = traffic_op_count(&cfg);
+    println!(
+        "lincheck sweep: {} shard(s) x {} replica(s), seed {}, op space ~{total}, {points} points",
+        cfg.pool_shards, cfg.replicas, cfg.load.seed
+    );
+    let mut checked_keys = 0u64;
+    let mut checked_events = 0u64;
+    let mut injected = 0u64;
+    for k in 0..points {
+        let point = 1 + k * total.max(1) / points.max(1);
+        match kill_during_traffic(point, &cfg) {
+            Ok(r) => {
+                checked_keys += r.lincheck_keys;
+                checked_events += r.lincheck_events;
+                injected += u64::from(r.injected);
+                println!(
+                    "point {point}: linearizable ({} keys, {} events, acked={}, \
+                     promotions={})",
+                    r.lincheck_keys, r.lincheck_events, r.acked_writes, r.promotions
+                );
+            }
+            Err(e) => {
+                eprintln!("point {point}: VIOLATION\n{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "verdict: durably linearizable — {points} crash points ({injected} fired), \
+         {checked_keys} key partitions, {checked_events} events"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("timeline") => timeline(&args[1..]),
+        Some("lincheck") => lincheck(&args[1..]),
         _ => {
             eprintln!(
                 "usage: jnvm-faultsim timeline [--threads N] [--point N] [--rounds N] \
-                 [--keys N] [--pool-mb MB] [--max-spans N]"
+                 [--keys N] [--pool-mb MB] [--max-spans N]\n\
+                 \x20      jnvm-faultsim lincheck [--points N] [--shards N] [--replicas N] \
+                 [--crash-shard N] [--crash-backup] [--seed N] [--conns N] [--ops N]"
             );
             std::process::exit(2);
         }

@@ -180,6 +180,48 @@ mod tests {
         }
     }
 
+    /// Golden routing pin: `shard_for_key` is FNV-1a over the key bytes,
+    /// reduced mod the shard count — and it is **on-media layout**. A
+    /// multi-pool image reopened after a silent hash change would scatter
+    /// every key to the wrong shard's recovery pass. These values were
+    /// computed independently from the FNV-1a reference parameters
+    /// (offset 0xcbf29ce484222325, prime 0x100000001b3); they must never
+    /// change.
+    #[test]
+    fn shard_for_key_golden_values_are_pinned() {
+        // (key, shard of 4, shard of 8)
+        let golden: &[(&str, usize, usize)] = &[
+            ("c0-000000", 1, 1),
+            ("c0-000001", 2, 6),
+            ("c1-000017", 0, 0),
+            ("c3-000042", 0, 0),
+            ("drain-000", 0, 4),
+            ("extra-000", 0, 4),
+            ("key-000", 1, 1),
+            ("s0-c003-k1", 2, 2),
+            ("alpha", 3, 3),
+            ("bank/accounts", 0, 4),
+            ("user:1001", 2, 6),
+            ("Δ-unicode-key", 3, 3),
+        ];
+        for &(key, of4, of8) in golden {
+            assert_eq!(
+                shard_for_key(key, 4),
+                of4,
+                "{key}: routing (mod 4) changed — reopened images would scatter"
+            );
+            assert_eq!(
+                shard_for_key(key, 8),
+                of8,
+                "{key}: routing (mod 8) changed — reopened images would scatter"
+            );
+        }
+        // Single-shard degenerate case stays total.
+        for &(key, ..) in golden {
+            assert_eq!(shard_for_key(key, 1), 0);
+        }
+    }
+
     #[test]
     fn sharded_create_write_reopen_roundtrip() {
         let pmems = devices(3);

@@ -43,6 +43,7 @@ fn load_cfg(args: &Args) -> LoadgenConfig {
         pipeline: args.get_or("pipeline", 16),
         fields: args.get_or("fields", 4),
         value_size: args.get_or("value-size", 64),
+        seed: args.get_or("seed", 0),
     }
 }
 

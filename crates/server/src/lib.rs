@@ -44,10 +44,13 @@ pub mod server;
 pub mod torture;
 
 pub use args::Args;
-pub use loadgen::{run_loadgen, ConnReport, LoadReport, LoadgenConfig};
+pub use loadgen::{key_for, op_for, run_loadgen, value_for, ConnReport, LoadReport, LoadgenConfig};
 pub use proto::{
     encode_reply, encode_request, handshake, handshake_proto_error, parse_frame, parse_reply,
     ParseOutcome, ProtoError, Reply, Request, PROTO_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerStats, ShardHandle};
-pub use torture::{kill_during_traffic, traffic_op_count, KillReport, TortureConfig};
+pub use torture::{
+    kill_during_traffic, promotion_read_probe, traffic_op_count, KillReport, ProbeReport,
+    TortureConfig,
+};

@@ -23,6 +23,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use jnvm_kvstore::Record;
+use jnvm_lincheck::{ClientRecorder, Clock, History, OpKind, Outcome};
 use jnvm_ycsb::Histogram;
 
 use crate::proto::{encode_request, parse_reply, ProtoError, Reply, Request};
@@ -40,6 +41,10 @@ pub struct LoadgenConfig {
     pub fields: usize,
     /// Bytes per field value.
     pub value_size: usize,
+    /// Determinism seed: mixed into every key and value, so distinct
+    /// seeds hit distinct keys (and therefore shard routings) while the
+    /// same seed replays byte-identical invocation sequences.
+    pub seed: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -50,6 +55,7 @@ impl Default for LoadgenConfig {
             pipeline: 16,
             fields: 4,
             value_size: 64,
+            seed: 0,
         }
     }
 }
@@ -111,16 +117,29 @@ pub struct LoadReport {
     pub acked_writes: u64,
     /// Error replies + bad reads across connections.
     pub errors: u64,
+    /// The captured op history: one interval-stamped event per sent
+    /// request, `Indeterminate` where the reply never arrived. The kill
+    /// tortures mark the crash and append post-recovery observations,
+    /// then feed this to [`jnvm_lincheck::check`].
+    pub history: History,
 }
 
-/// The key op `i` of connection `conn` creates (for SET indices).
-pub fn key_for(conn: usize, i: usize) -> String {
-    format!("c{conn}-{i:06}")
+/// The key op `i` of connection `conn` creates (for SET indices). Seed 0
+/// keeps the legacy `c{conn}-{i}` shape; other seeds get a distinct
+/// prefix, which re-routes every key through `shard_for_key` — each seed
+/// exercises a different shard interleaving of the *same* op pattern.
+pub fn key_for(seed: u64, conn: usize, i: usize) -> String {
+    if seed == 0 {
+        format!("c{conn}-{i:06}")
+    } else {
+        format!("s{seed:x}-c{conn}-{i:06}")
+    }
 }
 
-/// Deterministic value bytes for `(conn, op, field)`.
-pub fn value_for(conn: usize, i: usize, field: usize, len: usize) -> Vec<u8> {
+/// Deterministic value bytes for `(seed, conn, op, field)`.
+pub fn value_for(seed: u64, conn: usize, i: usize, field: usize, len: usize) -> Vec<u8> {
     let mut x = 0xcbf29ce484222325u64
+        ^ seed.wrapping_mul(0xff51afd7ed558ccd)
         ^ (conn as u64).wrapping_mul(0x100000001b3)
         ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)
         ^ (field as u64).wrapping_mul(0xd1b54a32d192ed03);
@@ -134,19 +153,20 @@ pub fn value_for(conn: usize, i: usize, field: usize, len: usize) -> Vec<u8> {
 
 /// The deterministic request for `(conn, i)`.
 pub fn op_for(conn: usize, i: usize, cfg: &LoadgenConfig) -> Request {
+    let seed = cfg.seed;
     match i % 10 {
-        4 if i > 0 => Request::Del(key_for(conn, i - 1)),
-        7 if i > 0 => Request::Get(key_for(conn, i - 1)),
+        4 if i > 0 => Request::Del(key_for(seed, conn, i - 1)),
+        7 if i > 0 => Request::Get(key_for(seed, conn, i - 1)),
         9 if i > 0 => Request::SetField {
-            key: key_for(conn, i - 1),
+            key: key_for(seed, conn, i - 1),
             field: 0,
-            value: value_for(conn, i, 0, cfg.value_size),
+            value: value_for(seed, conn, i, 0, cfg.value_size),
         },
         _ => {
             let values: Vec<Vec<u8>> = (0..cfg.fields.max(1))
-                .map(|f| value_for(conn, i, f, cfg.value_size))
+                .map(|f| value_for(seed, conn, i, f, cfg.value_size))
                 .collect();
-            Request::Set(Record::ycsb(&key_for(conn, i), &values))
+            Request::Set(Record::ycsb(&key_for(seed, conn, i), &values))
         }
     }
 }
@@ -154,15 +174,32 @@ pub fn op_for(conn: usize, i: usize, cfg: &LoadgenConfig) -> Request {
 /// The record op `i` of connection `conn` would GET (for `i % 10 == 7`).
 fn expected_get(conn: usize, i: usize, cfg: &LoadgenConfig) -> Record {
     let values: Vec<Vec<u8>> = (0..cfg.fields.max(1))
-        .map(|f| value_for(conn, i - 1, f, cfg.value_size))
+        .map(|f| value_for(cfg.seed, conn, i - 1, f, cfg.value_size))
         .collect();
-    Record::ycsb(&key_for(conn, i - 1), &values)
+    Record::ycsb(&key_for(cfg.seed, conn, i - 1), &values)
+}
+
+/// The history-capture view of a request: target key plus the abstract
+/// [`OpKind`] the checker's sequential spec understands.
+fn captured_kind(req: &Request) -> Option<(&str, OpKind)> {
+    match req {
+        Request::Get(key) => Some((key, OpKind::Get)),
+        Request::Del(key) => Some((key, OpKind::Del)),
+        Request::Set(rec) => Some((
+            &rec.key,
+            OpKind::Set(rec.fields.iter().map(|(_, v)| v.clone()).collect()),
+        )),
+        Request::SetField { key, field, value } => {
+            Some((key, OpKind::SetField(*field, value.clone())))
+        }
+        _ => None,
+    }
 }
 
 /// `Ok(None)` = stream ended or timed out; `Err` = the reply stream is
 /// unparseable ([`ProtoError`]) — typed, so the caller can record it
 /// instead of conflating it with silence.
-fn read_reply(
+pub(crate) fn read_reply(
     stream: &mut TcpStream,
     rbuf: &mut Vec<u8>,
 ) -> Result<Option<Reply>, ProtoError> {
@@ -185,7 +222,15 @@ fn read_reply(
     }
 }
 
-fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
+type Window = std::collections::VecDeque<(usize, Instant, Option<jnvm_lincheck::OpToken>)>;
+
+fn run_conn(
+    addr: SocketAddr,
+    conn: usize,
+    cfg: &LoadgenConfig,
+    clock: &Clock,
+) -> (ConnReport, ClientRecorder) {
+    let mut recorder = ClientRecorder::new(clock, conn);
     let mut report = ConnReport {
         conn,
         sent: 0,
@@ -194,7 +239,7 @@ fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
         proto_error: None,
     };
     let Ok(mut stream) = TcpStream::connect(addr) else {
-        return report;
+        return (report, recorder);
     };
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
@@ -202,57 +247,81 @@ fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
     // silence.
     if let Err(e) = crate::proto::handshake(&mut stream) {
         report.proto_error = crate::proto::handshake_proto_error(&e);
-        return report;
+        return (report, recorder);
     }
 
-    let mut window: std::collections::VecDeque<(usize, Instant)> = Default::default();
+    let mut window: Window = Default::default();
     let mut rbuf: Vec<u8> = Vec::new();
     let mut dead = false;
 
-    let settle =
-        |report: &mut ConnReport, window: &mut std::collections::VecDeque<(usize, Instant)>,
-         stream: &mut TcpStream, rbuf: &mut Vec<u8>| {
-            let reply = match read_reply(stream, rbuf) {
-                Ok(Some(reply)) => reply,
-                Ok(None) => return false,
-                Err(e) => {
-                    report.proto_error = Some(e);
-                    return false;
-                }
-            };
-            let (i, sent_at) = window.pop_front().expect("reply without request");
-            report.hist.record(sent_at.elapsed().as_nanos() as u64);
-            report.outcomes[i] = match reply {
-                Reply::Ok => OpOutcome::Ok,
-                Reply::NotFound => OpOutcome::NotFound,
-                Reply::Err(_) => OpOutcome::Err,
-                // Acks belong on the replication link, never to a client.
-                Reply::ReplAck(_) => OpOutcome::Err,
-                Reply::Value(payload) => {
-                    // Read-your-writes probe: the GET rides behind this
-                    // connection's acked SET, so the payload must match.
-                    if jnvm_kvstore::decode_record(&payload).as_ref()
-                        == Some(&expected_get(conn, i, cfg))
-                    {
-                        OpOutcome::Value
-                    } else {
-                        OpOutcome::BadRead
-                    }
-                }
-            };
-            true
+    let settle = |report: &mut ConnReport,
+                  recorder: &mut ClientRecorder,
+                  window: &mut Window,
+                  stream: &mut TcpStream,
+                  rbuf: &mut Vec<u8>| {
+        let reply = match read_reply(stream, rbuf) {
+            Ok(Some(reply)) => reply,
+            Ok(None) => return false,
+            Err(e) => {
+                report.proto_error = Some(e);
+                return false;
+            }
         };
+        let (i, sent_at, tok) = window.pop_front().expect("reply without request");
+        report.hist.record(sent_at.elapsed().as_nanos() as u64);
+        let (outcome, observed) = match reply {
+            Reply::Ok => (OpOutcome::Ok, Outcome::Ok),
+            Reply::NotFound => (OpOutcome::NotFound, Outcome::NotFound),
+            // An error reply ends the op but leaves its effect unknown:
+            // the history keeps it Indeterminate (with a response stamp).
+            Reply::Err(_) => (OpOutcome::Err, Outcome::Indeterminate),
+            // Acks belong on the replication link, never to a client.
+            Reply::ReplAck(_) => (OpOutcome::Err, Outcome::Indeterminate),
+            Reply::Value(payload) => {
+                // Read-your-writes probe: the GET rides behind this
+                // connection's acked SET, so the payload must match. The
+                // history records what was *actually served* (an
+                // undecodable payload becomes an empty record, which no
+                // SET ever writes — the checker convicts it), so the
+                // lincheck verdict is independent of this expectation.
+                let decoded = jnvm_kvstore::decode_record(&payload);
+                let observed = Outcome::Value(
+                    decoded
+                        .as_ref()
+                        .map(|r| r.fields.iter().map(|(_, v)| v.clone()).collect())
+                        .unwrap_or_default(),
+                );
+                let outcome = if decoded.as_ref() == Some(&expected_get(conn, i, cfg)) {
+                    OpOutcome::Value
+                } else {
+                    OpOutcome::BadRead
+                };
+                (outcome, observed)
+            }
+        };
+        report.outcomes[i] = outcome;
+        if let Some(tok) = tok {
+            recorder.resolve(tok, observed);
+        }
+        true
+    };
 
     for i in 0..cfg.ops_per_conn {
-        let frame = encode_request(&op_for(conn, i, cfg));
+        let req = op_for(conn, i, cfg);
+        let frame = encode_request(&req);
+        // Invoke *before* the bytes hit the socket: the recorded interval
+        // must contain the op's real execution window, so widening it at
+        // the front is sound, narrowing it is not. An op invoked here but
+        // never sent just stays Indeterminate — free to vanish.
+        let tok = captured_kind(&req).map(|(key, kind)| recorder.invoke(key, kind));
         if stream.write_all(&frame).is_err() {
             dead = true;
             break;
         }
         report.sent += 1;
-        window.push_back((i, Instant::now()));
+        window.push_back((i, Instant::now(), tok));
         while window.len() >= cfg.pipeline.max(1) {
-            if !settle(&mut report, &mut window, &mut stream, &mut rbuf) {
+            if !settle(&mut report, &mut recorder, &mut window, &mut stream, &mut rbuf) {
                 dead = true;
                 break;
             }
@@ -262,22 +331,28 @@ fn run_conn(addr: SocketAddr, conn: usize, cfg: &LoadgenConfig) -> ConnReport {
         }
     }
     while !dead && !window.is_empty() {
-        if !settle(&mut report, &mut window, &mut stream, &mut rbuf) {
+        if !settle(&mut report, &mut recorder, &mut window, &mut stream, &mut rbuf) {
             break;
         }
     }
-    report
+    (report, recorder)
 }
 
 /// Run the configured load against `addr`; one thread per connection.
 pub fn run_loadgen(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadReport {
     let t0 = Instant::now();
-    let per_conn: Vec<ConnReport> = std::thread::scope(|s| {
+    let clock = Clock::new();
+    let per_conn: Vec<(ConnReport, ClientRecorder)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.conns)
-            .map(|c| s.spawn(move || run_conn(addr, c, cfg)))
+            .map(|c| {
+                let clock = clock.clone();
+                s.spawn(move || run_conn(addr, c, cfg, &clock))
+            })
             .collect();
         handles.into_iter().map(|h| h.join().expect("conn thread")).collect()
     });
+    let (per_conn, recorders): (Vec<ConnReport>, Vec<ClientRecorder>) =
+        per_conn.into_iter().unzip();
     let mut hist = Histogram::new();
     let mut acked_writes = 0u64;
     let mut errors = 0u64;
@@ -297,5 +372,6 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadgenConfig) -> LoadReport {
         elapsed: t0.elapsed(),
         acked_writes,
         errors,
+        history: History::collect(clock, recorders),
     }
 }

@@ -55,13 +55,17 @@
 //! the primary's crash), so a later op on the same key can legitimately
 //! ack — the floor tracks the last `Ok`, not a contiguous prefix.
 
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use jnvm::RecoveryOptions;
-use jnvm_kvstore::{GridConfig, Record, ShardedKv};
+use jnvm_kvstore::{shard_for_key, GridConfig, Record, ShardedKv};
 use jnvm_pmem::{silence_crash_panics, FaultPlan, Pmem, PmemConfig};
 
 use crate::loadgen::{key_for, run_loadgen, value_for, LoadReport, LoadgenConfig, OpOutcome};
+use crate::proto::{encode_request, handshake, Reply, Request};
 use crate::server::{Server, ServerConfig, ServerStats, ShardHandle};
 
 /// Experiment shape.
@@ -134,6 +138,10 @@ pub struct KillReport {
     /// the survivor's (always an *allowed* divergence — the audit fails
     /// instead if the backup is ever **behind** the primary).
     pub divergent_keys: u64,
+    /// Per-key partitions the durable-linearizability checker verified.
+    pub lincheck_keys: u64,
+    /// History events (client ops + post-recovery observations) checked.
+    pub lincheck_events: u64,
     /// Server counters at shutdown.
     pub server: ServerStats,
 }
@@ -227,7 +235,7 @@ pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport
     // Armed only now: pool format and server startup are not part of the
     // crash-point space under test.
     crash_dev.arm_faults(FaultPlan::crash_at(point));
-    let load = run_loadgen(ctx.server.addr(), &cfg.load);
+    let mut load = run_loadgen(ctx.server.addr(), &cfg.load);
     let stats = ctx.server.stats();
     ctx.server.shutdown();
     let injected = crash_dev.faults_frozen();
@@ -262,6 +270,8 @@ pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport
     .map_err(|e| format!("reopen survivors after crash at point {point}: {e}"))?;
 
     let (keys_checked, crash_shard_keys) = verify_allowed_states(&load, cfg, &kv2)
+        .map_err(|e| format!("point {point}: {e}"))?;
+    let lincheck = lincheck_history(&mut load, &kv2)
         .map_err(|e| format!("point {point}: {e}"))?;
     drop(kv2);
 
@@ -318,8 +328,133 @@ pub fn kill_during_traffic(point: u64, cfg: &TortureConfig) -> Result<KillReport
         acked_after_promotion: stats.acked_after_promotion,
         keys_checked,
         divergent_keys: divergent,
+        lincheck_keys: lincheck.keys as u64,
+        lincheck_events: lincheck.events as u64,
         server: stats,
     })
+}
+
+/// Close the captured history over the recovered image and check durable
+/// linearizability: mark the crash barrier, append one post-recovery
+/// observation per touched key (read from the reopened survivors), then
+/// run the per-key Wing–Gong search. An acked-but-lost write, a dirty
+/// read of a never-durable value, or any ordering inversion comes back as
+/// an `Err` carrying the minimized witness.
+fn lincheck_history(
+    load: &mut LoadReport,
+    kv2: &ShardedKv,
+) -> Result<jnvm_lincheck::CheckReport, String> {
+    load.history.mark_crash();
+    let keys: Vec<String> = load.history.keys().iter().map(|k| k.to_string()).collect();
+    for key in keys {
+        let state = kv2
+            .read(&key)
+            .map(|rec| rec.fields.into_iter().map(|(_, v)| v).collect());
+        load.history.observe(&key, state);
+    }
+    jnvm_lincheck::check(&load.history)
+        .map_err(|v| format!("durable-linearizability violation: {v}"))
+}
+
+/// Report of one read-your-writes probe across a primary failover.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeReport {
+    /// Whether the armed crash actually fired.
+    pub injected: bool,
+    /// Backups promoted to primary (server counter).
+    pub promotions: u64,
+    /// Writes acked by a shard that had failed over (server counter).
+    pub acked_after_promotion: u64,
+    /// The pool shard the probe key routes to (the crashed one).
+    pub probe_shard: usize,
+    /// Probe SETs acked by the promoted shard.
+    pub probe_sets_acked: u64,
+}
+
+/// Read-your-writes across promotion: crash the primary of `crash_shard`
+/// mid-traffic, wait for the load to drain (the shard promotes its backup
+/// in place), then — against the **still-running** server — SET a key
+/// routed to the promoted shard twice and GET it back. The GET is issued
+/// after `acked_after_promotion` went nonzero for that key's shard, so it
+/// must observe the *last* acked SET; anything else is a stale read on
+/// the survivor. Errors describe the violated expectation.
+pub fn promotion_read_probe(point: u64, cfg: &TortureConfig) -> Result<ProbeReport, String> {
+    silence_crash_panics();
+    if cfg.replicas.clamp(1, 2) < 2 || cfg.crash_replica != 0 {
+        return Err("the probe needs replicas=2 and a primary kill".into());
+    }
+    let ctx = build(cfg);
+    let crash_dev = Arc::clone(&ctx.pmems[cfg.crash_shard][0]);
+    crash_dev.arm_faults(FaultPlan::crash_at(point));
+    let _load = run_loadgen(ctx.server.addr(), &cfg.load);
+    let injected = crash_dev.faults_frozen();
+    let stats = ctx.server.stats();
+    let mut report = ProbeReport {
+        injected,
+        promotions: stats.promotions,
+        acked_after_promotion: stats.acked_after_promotion,
+        probe_shard: cfg.crash_shard,
+        probe_sets_acked: 0,
+    };
+    if injected && stats.promotions > 0 {
+        let pool_shards = cfg.pool_shards.max(1);
+        let key = (0u32..)
+            .map(|n| format!("promo-probe-{n:04}"))
+            .find(|k| shard_for_key(k, pool_shards) == cfg.crash_shard)
+            .expect("some probe key routes to the crash shard");
+        let vals = |tag: u8| vec![vec![tag; 8]];
+        let mut stream =
+            TcpStream::connect(ctx.server.addr()).map_err(|e| format!("probe connect: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        handshake(&mut stream).map_err(|e| format!("probe handshake: {e}"))?;
+        let mut rbuf: Vec<u8> = Vec::new();
+        let mut roundtrip = |stream: &mut TcpStream, req: &Request| -> Result<Reply, String> {
+            stream
+                .write_all(&encode_request(req))
+                .map_err(|e| format!("probe send: {e}"))?;
+            match crate::loadgen::read_reply(stream, &mut rbuf) {
+                Ok(Some(reply)) => Ok(reply),
+                Ok(None) => Err("probe: promoted shard went silent".into()),
+                Err(e) => Err(format!("probe reply stream: {e}")),
+            }
+        };
+        for tag in [1u8, 2u8] {
+            match roundtrip(&mut stream, &Request::Set(Record::ycsb(&key, &vals(tag))))? {
+                Reply::Ok => report.probe_sets_acked += 1,
+                other => {
+                    return Err(format!(
+                        "probe SET #{tag} on promoted shard {} answered {other:?}",
+                        cfg.crash_shard
+                    ))
+                }
+            }
+        }
+        let expected = Record::ycsb(&key, &vals(2));
+        match roundtrip(&mut stream, &Request::Get(key.clone()))? {
+            Reply::Value(payload) => {
+                if jnvm_kvstore::decode_record(&payload).as_ref() != Some(&expected) {
+                    return Err(format!(
+                        "probe GET on {key}: read-your-writes broken across promotion \
+                         (did not observe the last acked SET)"
+                    ));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "probe GET on {key} answered {other:?} after two acked SETs"
+                ))
+            }
+        }
+    }
+    ctx.server.shutdown();
+    let Ctx { kvs, .. } = ctx;
+    drop(kvs);
+    crash_dev.disarm_faults();
+    if injected {
+        crash_dev.resync_cache();
+    }
+    Ok(report)
 }
 
 /// `Ok` outcomes after each connection's first `Err`, summed. With one
@@ -389,13 +524,13 @@ fn state_after(
         match op {
             KeyOp::Set => {
                 let values: Vec<Vec<u8>> = (0..cfg.load.fields.max(1))
-                    .map(|f| value_for(conn, *idx, f, cfg.load.value_size))
+                    .map(|f| value_for(cfg.load.seed, conn, *idx, f, cfg.load.value_size))
                     .collect();
-                state = Some(Record::ycsb(&key_for(conn, i), &values));
+                state = Some(Record::ycsb(&key_for(cfg.load.seed, conn, i), &values));
             }
             KeyOp::SetF => {
                 let rec = state.as_mut().expect("SETF follows SET");
-                rec.fields[0].1 = value_for(conn, *idx, 0, cfg.load.value_size);
+                rec.fields[0].1 = value_for(cfg.load.seed, conn, *idx, 0, cfg.load.value_size);
             }
             KeyOp::Del => state = None,
         }
@@ -441,7 +576,7 @@ fn verify_allowed_states(
                 continue;
             };
             checked += 1;
-            let key = key_for(conn.conn, i);
+            let key = key_for(cfg.load.seed, conn.conn, i);
             // Acked floor: an op answered Ok is durable, and writes apply
             // in per-key order, so the image must reflect at least every
             // op up to the LAST acked one. (With failover, an op that

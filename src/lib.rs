@@ -11,6 +11,7 @@ pub use jnvm_gcsim as gcsim;
 pub use jnvm_heap as heap;
 pub use jnvm_jpdt as jpdt;
 pub use jnvm_kvstore as kvstore;
+pub use jnvm_lincheck as lincheck;
 pub use jnvm_pmem as pmem;
 pub use jnvm_server as server;
 pub use jnvm_tpcb as tpcb;

@@ -274,6 +274,7 @@ fn server_acks_and_fences_reconcile_with_obs_registry() {
             pipeline: 8,
             fields: 3,
             value_size: 48,
+            seed: 0,
         },
     );
     let stats = ctx.server.stats();
@@ -325,6 +326,7 @@ fn failover_conserves_span_accounting() {
             pipeline: 8,
             fields: 3,
             value_size: 48,
+            seed: 0,
         },
         pool_shards: 2,
         replicas: 2,
@@ -372,6 +374,7 @@ fn kill_sweep_never_tears_span_accounting() {
             pipeline: 8,
             fields: 2,
             value_size: 32,
+            seed: 0,
         },
         pool_shards: pool_shards_from_env(),
         replicas: pool_replicas_from_env(),

@@ -29,6 +29,7 @@ use jnvm_repro::kvstore::{
     commit_writes_replicated, register_kvstore, Backend, DataGrid, GridConfig, JnvmBackend,
     Record, ReplLag, ReplicaStack, WriteOp,
 };
+use jnvm_repro::lincheck::{self, ClientRecorder, Clock, History, OpKind, Outcome};
 use jnvm_repro::pmem::{
     catch_crash, silence_crash_panics, FaultPlan, Pmem, PmemConfig,
 };
@@ -136,6 +137,10 @@ struct Log {
     acked_post: Vec<Mutex<Vec<usize>>>,
     promotions: AtomicU64,
     degrades: AtomicU64,
+    /// Shared history clock + one op recorder per shard worker, for the
+    /// post-recovery durable-linearizability check.
+    clock: Clock,
+    recorders: Vec<Mutex<ClientRecorder>>,
 }
 
 struct Ctx {
@@ -166,10 +171,26 @@ fn setup(log: &Arc<Log>) -> (Vec<Vec<Arc<Pmem>>>, Ctx) {
 /// acked only when `commit_writes_replicated` returns — the crashing
 /// chunk is never acked, conservatively, even though a primary crash
 /// leaves it durable on the backup.
+/// The history-capture view of one [`WriteOp`].
+fn captured_kind(op: &WriteOp) -> OpKind {
+    match op {
+        WriteOp::Set(rec) => OpKind::Set(rec.fields.iter().map(|(_, v)| v.clone()).collect()),
+        WriteOp::SetField { field, value, .. } => OpKind::SetField(*field, value.clone()),
+        WriteOp::Del(_) => OpKind::Del,
+    }
+}
+
 fn drive(shard: usize, ctx: &Ctx) {
     let set = &ctx.sets[shard];
     for c in 0..CHUNKS {
         let ops = chunk_ops(shard, c);
+        // Invoke every op of the chunk before the commit touches a device:
+        // a crash mid-chunk leaves all of them Indeterminate (they may
+        // linearize — the backup may hold them — or vanish).
+        let toks: Vec<_> = {
+            let mut rec = ctx.log.recorders[shard].lock().expect("recorder lock");
+            ops.iter().map(|op| rec.invoke(op.key(), captured_kind(op))).collect()
+        };
         let committed = catch_crash(|| {
             let active = set.active();
             let backup = set.backup().map(|b| ReplicaStack {
@@ -187,7 +208,20 @@ fn drive(shard: usize, ctx: &Ctx) {
             )
         });
         match committed {
-            Ok(_) => {
+            Ok(out) => {
+                {
+                    let mut rec = ctx.log.recorders[shard].lock().expect("recorder lock");
+                    for (tok, (op, applied)) in
+                        toks.into_iter().zip(ops.iter().zip(&out.results))
+                    {
+                        let outcome = match op {
+                            WriteOp::Set(_) => Outcome::Ok,
+                            _ if *applied => Outcome::Ok,
+                            _ => Outcome::NotFound,
+                        };
+                        rec.resolve(tok, outcome);
+                    }
+                }
                 let bucket = if set.promotions() > 0 {
                     &ctx.log.acked_post[shard]
                 } else {
@@ -227,9 +261,14 @@ fn op_space(crash_replica: usize) -> u64 {
 }
 
 fn new_log() -> Log {
+    let clock = Clock::new();
     Log {
         acked_pre: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         acked_post: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        recorders: (0..SHARDS)
+            .map(|s| Mutex::new(ClientRecorder::new(&clock, s)))
+            .collect(),
+        clock,
         ..Log::default()
     }
 }
@@ -251,6 +290,25 @@ fn run_point(point: u64, crash_replica: usize) -> Arc<Log> {
             let promoted = out.injected
                 && out.crash_replica == 0
                 && vlog.promotions.load(Ordering::Relaxed) > 0;
+            // Assemble the captured history; the crash barrier precedes
+            // every post-recovery observation appended below.
+            let mut hist = {
+                let recs: Vec<ClientRecorder> = vlog
+                    .recorders
+                    .iter()
+                    .enumerate()
+                    .map(|(s, m)| {
+                        std::mem::replace(
+                            &mut *m.lock().expect("recorder lock"),
+                            ClientRecorder::new(&vlog.clock, s),
+                        )
+                    })
+                    .collect();
+                History::collect(vlog.clock.clone(), recs)
+            };
+            hist.mark_crash();
+            let touched: std::collections::HashSet<String> =
+                hist.keys().iter().map(|k| k.to_string()).collect();
             for (s, shard_pmems) in pmems.iter().enumerate().take(SHARDS) {
                 let survivor = usize::from(s == out.crash_shard && promoted);
                 let (_rt, _be, grid) = reopen(&shard_pmems[survivor]);
@@ -258,6 +316,20 @@ fn run_point(point: u64, crash_replica: usize) -> Arc<Log> {
                 let post = vlog.acked_post[s].lock().expect("log lock").clone();
                 for &c in pre.iter().chain(&post) {
                     expect_chunk(&grid, s, c);
+                }
+                // The survivor's recovered state, fed to the checker as
+                // post-recovery reads of every key this shard's worker
+                // touched.
+                for c in 0..CHUNKS {
+                    for i in 0..4 {
+                        let k = key(s, c, i);
+                        if touched.contains(&k) {
+                            let state = grid
+                                .read(&k)
+                                .map(|r| r.fields.into_iter().map(|(_, v)| v).collect());
+                            hist.observe(&k, state);
+                        }
+                    }
                 }
                 if s != out.crash_shard {
                     assert_eq!(
@@ -298,6 +370,12 @@ fn run_point(point: u64, crash_replica: usize) -> Arc<Log> {
                         }
                     }
                 }
+            }
+            // The whole run — acked chunks, the crashing chunk's
+            // indeterminate ops, and the recovered images — must be one
+            // durably linearizable history.
+            if let Err(v) = lincheck::check(&hist) {
+                panic!("point {point}: durable-linearizability violation: {v}");
             }
         },
     );

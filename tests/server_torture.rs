@@ -26,8 +26,9 @@ use jnvm_repro::kvstore::{
 };
 use jnvm_repro::pmem::{Pmem, PmemConfig};
 use jnvm_repro::server::{
-    encode_request, handshake, kill_during_traffic, parse_reply, run_loadgen, traffic_op_count,
-    LoadgenConfig, Reply, Request, Server, ServerConfig, TortureConfig,
+    encode_request, handshake, kill_during_traffic, parse_reply, promotion_read_probe,
+    run_loadgen, traffic_op_count, LoadgenConfig, Reply, Request, Server, ServerConfig,
+    TortureConfig,
 };
 
 /// Pool shards for the shared sweeps: `JNVM_SHARDS` or 1.
@@ -56,6 +57,7 @@ fn small_torture() -> TortureConfig {
             pipeline: 8,
             fields: 3,
             value_size: 48,
+            seed: 0,
         },
         pool_shards: pool_shards_from_env(),
         replicas: pool_replicas_from_env(),
@@ -273,6 +275,35 @@ fn failover_promotes_backup_and_keeps_acking() {
     assert!(report.keys_checked > 0);
 }
 
+/// Read-your-writes across promotion: after the primary crash fails the
+/// shard over to its backup (and `acked_after_promotion` witnesses it
+/// acking again), a fresh connection SETs a key routed to the promoted
+/// shard twice and GETs it back — the survivor must serve the *last*
+/// acked SET, not a stale or empty image.
+#[test]
+fn get_after_promotion_observes_last_acked_set() {
+    let cfg = TortureConfig {
+        pool_shards: 2,
+        replicas: 2,
+        crash_shard: 0,
+        recovery_threads: 2,
+        ..small_torture()
+    };
+    let total = traffic_op_count(&cfg);
+    let report = promotion_read_probe(total / 10, &cfg).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.injected, "point {} of {total} must fire", total / 10);
+    assert!(report.promotions >= 1, "the crash shard must fail over");
+    assert!(
+        report.acked_after_promotion > 0,
+        "the probe runs after the promoted shard resumed acking"
+    );
+    assert_eq!(report.probe_shard, 0, "the probe key targets the promoted shard");
+    assert_eq!(
+        report.probe_sets_acked, 2,
+        "both probe SETs must ack on the survivor"
+    );
+}
+
 /// A **backup** crash is invisible to clients: the shard degrades to
 /// solo mode on the primary, keeps acking (acks were always gated on the
 /// primary's durability too), and nothing acked is lost — verified
@@ -420,6 +451,7 @@ fn kill_during_traffic_wide_sweep() {
             pipeline: 16,
             fields: 4,
             value_size: 64,
+            seed: 0,
         },
         recovery_threads: 4,
         ..TortureConfig::default()
@@ -445,6 +477,7 @@ fn replicated_kill_wide_sweep() {
             pipeline: 16,
             fields: 4,
             value_size: 64,
+            seed: 0,
         },
         pool_shards: 2,
         replicas: 2,
